@@ -1,0 +1,22 @@
+"""Shared benchmark configuration.
+
+Every benchmark runs its experiment once (``benchmark.pedantic`` with one
+round): each experiment is a deterministic discrete-event simulation, so
+repeated timing rounds would only measure the Python interpreter.
+"""
+
+import pytest
+
+
+def run_once(benchmark, experiment, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(experiment, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)
+
+
+@pytest.fixture
+def once(benchmark):
+    def runner(experiment, *args, **kwargs):
+        return run_once(benchmark, experiment, *args, **kwargs)
+
+    return runner

@@ -1,0 +1,71 @@
+"""Ablation: aggregation pushdown (the ScanAggregate extension).
+
+Three plans for the same grouped aggregation over a filtered year of
+lineitem: host everything (Conv), offloaded scan shipping surviving rows
+(the paper's design), and offloaded scan+aggregate shipping only aggregate
+states.  The interesting column is the bytes crossing the host interface.
+"""
+
+from repro.bench.harness import ExperimentResult, save_result
+from repro.db.executor import ExecutionMode
+from repro.db.planner import create_engine
+from repro.db.sql import run_sql
+from repro.db.tpch.datagen import load_tpch
+from repro.host.platform import System
+
+SF = 0.02
+STATEMENT = """
+    SELECT l_shipmode, COUNT(*) AS n, SUM(l_quantity) AS total_qty
+    FROM lineitem
+    WHERE l_shipdate BETWEEN '1994-01-01' AND '1994-12-31'
+    GROUP BY l_shipmode ORDER BY l_shipmode
+"""
+
+
+def run_ablation():
+    system = System()
+    db = load_tpch(system.fs, SF)
+    rows = []
+    metrics = {}
+
+    conv = create_engine(system, db, ExecutionMode.CONV)
+    conv_rel, conv_s = run_sql(conv, STATEMENT)
+    rows.append(["Conv (host scan+aggregate)", round(conv_s, 3), 1.0,
+                 conv.host_pages_read * db.fs.page_size])
+    metrics["conv_s"] = conv_s
+
+    row_ship = create_engine(system, db, ExecutionMode.BISCUIT)
+    row_ship.config.ndp_pushdown_aggregate = False
+    ship_rel, ship_s = run_sql(row_ship, STATEMENT)
+    rows.append(["Biscuit scan offload (ship rows)", round(ship_s, 3),
+                 round(conv_s / ship_s, 1), row_ship.ndp_result_bytes])
+    metrics["row_ship_s"] = ship_s
+    metrics["row_ship_bytes"] = row_ship.ndp_result_bytes
+
+    pushdown = create_engine(system, db, ExecutionMode.BISCUIT)
+    push_rel, push_s = run_sql(pushdown, STATEMENT)
+    rows.append(["Biscuit scan+aggregate offload", round(push_s, 3),
+                 round(conv_s / push_s, 1), pushdown.ndp_result_bytes])
+    metrics["pushdown_s"] = push_s
+    metrics["pushdown_bytes"] = pushdown.ndp_result_bytes
+
+    assert conv_rel.rows == ship_rel.rows == push_rel.rows
+    return ExperimentResult(
+        "Ablation", "Aggregate pushdown: grouped year scan (SF=%g)" % SF,
+        ["plan", "exec (s)", "speed-up", "result bytes over interface"],
+        rows,
+        metrics=metrics,
+    )
+
+
+def test_ablation_aggregate_pushdown(once):
+    result = once(run_ablation)
+    print()
+    print(result.format())
+    save_result(result, "ablation_aggregate_pushdown")
+    m = result.metrics
+    assert m["pushdown_s"] <= m["row_ship_s"] * 1.05
+    assert m["pushdown_s"] < m["conv_s"]
+    # The headline: aggregate states are orders of magnitude smaller than
+    # the surviving rows.
+    assert m["pushdown_bytes"] < m["row_ship_bytes"] / 100

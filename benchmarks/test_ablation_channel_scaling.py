@@ -1,0 +1,48 @@
+"""Ablation: internal bandwidth vs flash channel count.
+
+The NDP advantage in Fig. 7 comes from internal bandwidth exceeding the
+host interface.  With few channels the internal path drops below the PCIe
+cap and the bandwidth advantage disappears.
+"""
+
+from repro.bench.harness import ExperimentResult, save_result
+from repro.bench.experiments import _bandwidth
+from repro.host.platform import System
+from repro.sim.units import MIB
+from repro.ssd.config import SSDConfig
+
+
+def run_ablation():
+    rows = []
+    metrics = {}
+    for channels in (4, 8, 16, 32):
+        config = SSDConfig(channels=channels)
+        system = System(ssd_config=config)
+        system.fs.install_synthetic("/bench/bw.dat", 256 * MIB)
+        internal = _bandwidth(system, "/bench/bw.dat", 2 * MIB, 64 * MIB, 32, "biscuit")
+        host = _bandwidth(system, "/bench/bw.dat", 2 * MIB, 64 * MIB, 32, "conv")
+        rows.append([channels, round(internal, 2), round(host, 2),
+                     round(internal / host, 2)])
+        metrics["internal_%d" % channels] = internal
+        metrics["host_%d" % channels] = host
+    return ExperimentResult(
+        "Ablation", "Internal vs host bandwidth across channel counts (GB/s)",
+        ["channels", "internal", "host", "internal/host"],
+        rows,
+        metrics=metrics,
+    )
+
+
+def test_ablation_channel_scaling(once):
+    result = once(run_ablation)
+    print()
+    print(result.format())
+    save_result(result, "ablation_channel_scaling")
+    m = result.metrics
+    # Internal bandwidth scales with channels until NAND, not PCIe, limits.
+    assert m["internal_4"] < m["internal_8"] < m["internal_16"] <= m["internal_32"] * 1.05
+    # With 4 channels the internal path is *below* the host cap: no NDP
+    # bandwidth advantage.
+    assert m["internal_4"] < m["host_16"]
+    # At 16 channels (the paper's device class) internal > host by >25%.
+    assert m["internal_16"] > 1.25 * m["host_16"]

@@ -1,0 +1,56 @@
+"""Ablation: NDP-first join ordering (Section V-C's planner heuristic).
+
+The paper attributes Q14's 166.8x largely to placing the NDP-filtered table
+first in the join order.  With the heuristic disabled (offload still on,
+original smallest-table-first order kept), the speed-up should collapse by
+an order of magnitude.
+"""
+
+from repro.bench.harness import ExperimentResult, save_result
+from repro.db.executor import EngineConfig, ExecutionMode
+from repro.db.planner import create_engine
+from repro.db.tpch.datagen import load_tpch
+from repro.db.tpch.queries import run_query
+from repro.host.platform import System
+
+SF = 0.01
+
+
+def run_ablation():
+    system = System()
+    db = load_tpch(system.fs, SF)
+    conv = create_engine(system, db, ExecutionMode.CONV)
+    _, conv_s = run_query(conv, 14)
+
+    with_order = create_engine(system, db, ExecutionMode.BISCUIT)
+    _, with_s = run_query(with_order, 14)
+
+    without_order = create_engine(system, db, ExecutionMode.BISCUIT)
+    without_order.config.ndp_join_order = False
+    _, without_s = run_query(without_order, 14)
+
+    return ExperimentResult(
+        "Ablation", "Q14 with and without NDP-first join ordering (SF=%g)" % SF,
+        ["configuration", "exec (s)", "speed-up vs Conv"],
+        [
+            ["Conv", round(conv_s, 3), 1.0],
+            ["Biscuit (NDP-first order)", round(with_s, 3), round(conv_s / with_s, 1)],
+            ["Biscuit (order heuristic off)", round(without_s, 3),
+             round(conv_s / without_s, 1)],
+        ],
+        metrics={
+            "conv_s": conv_s, "with_order_s": with_s, "without_order_s": without_s,
+            "speedup_with": conv_s / with_s, "speedup_without": conv_s / without_s,
+        },
+    )
+
+
+def test_ablation_join_order(once):
+    result = once(run_ablation)
+    print()
+    print(result.format())
+    save_result(result, "ablation_join_order")
+    m = result.metrics
+    # The join-order heuristic is the dominant term of Q14's gain.
+    assert m["speedup_with"] > 10 * m["speedup_without"]
+    assert m["speedup_with"] > 80.0

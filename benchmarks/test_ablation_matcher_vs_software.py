@@ -1,0 +1,54 @@
+"""Ablation: hardware pattern matcher vs device software scan.
+
+Section VI: "we were unable to reproduce reported performance advantages of
+in-storage data scanning in software on a state-of-the-art SSD" — without
+the matcher IP, the two device cores (~240 MB/s combined) cannot keep up
+with the host, so software-only NDP *loses* on a scan-bound query.
+"""
+
+from repro.bench.experiments import FIG8_COLS, FIG8_QUERY1_PRED, _run_fig8_query
+from repro.bench.harness import ExperimentResult, save_result
+from repro.db.executor import ExecutionMode
+from repro.db.planner import create_engine
+from repro.db.tpch.datagen import load_tpch
+from repro.host.platform import System
+
+SF = 0.02
+
+
+def run_ablation():
+    system = System()
+    db = load_tpch(system.fs, SF)
+    conv = create_engine(system, db, ExecutionMode.CONV)
+    _, conv_s = _run_fig8_query(conv, FIG8_QUERY1_PRED)
+
+    hw = create_engine(system, db, ExecutionMode.BISCUIT)
+    system.run_fiber(hw.ndp_context._ensure_module())
+    _, hw_s = _run_fig8_query(hw, FIG8_QUERY1_PRED)
+
+    sw = create_engine(system, db, ExecutionMode.BISCUIT)
+    sw.config.ndp_use_matcher = False
+    system.run_fiber(sw.ndp_context._ensure_module())
+    _, sw_s = _run_fig8_query(sw, FIG8_QUERY1_PRED)
+
+    return ExperimentResult(
+        "Ablation", "Fig. 8 Query 1: matcher IP vs device software scan (SF=%g)" % SF,
+        ["configuration", "exec (s)", "vs Conv"],
+        [
+            ["Conv (host scan)", round(conv_s, 3), 1.0],
+            ["Biscuit + matcher IP", round(hw_s, 3), round(conv_s / hw_s, 1)],
+            ["Biscuit, software scan", round(sw_s, 3), round(conv_s / sw_s, 2)],
+        ],
+        metrics={"conv_s": conv_s, "hw_s": hw_s, "sw_s": sw_s},
+    )
+
+
+def test_ablation_matcher_vs_software(once):
+    result = once(run_ablation)
+    print()
+    print(result.format())
+    save_result(result, "ablation_matcher_vs_software")
+    m = result.metrics
+    # Hardware IP wins big; software-only in-SSD scanning loses to the host.
+    assert m["conv_s"] / m["hw_s"] > 5.0
+    assert m["sw_s"] > m["conv_s"]

@@ -1,0 +1,62 @@
+"""Ablation: the planner's offload selectivity threshold.
+
+Sweeping the accept threshold changes which scans offload: too low and the
+planner rejects everything (all 1.0x); too high and unselective scans
+offload, wasting device refinement on most pages.
+"""
+
+from repro.bench.harness import ExperimentResult, save_result
+from repro.db.executor import ExecutionMode
+from repro.db.planner import create_engine
+from repro.db.tpch.datagen import load_tpch
+from repro.db.tpch.queries import run_query
+from repro.host.platform import System
+
+SF = 0.01
+QUERIES = (6, 7, 14)  # year-range (accept), two-year-range (reject), month
+
+
+def run_ablation():
+    system = System()
+    db = load_tpch(system.fs, SF)
+    conv = create_engine(system, db, ExecutionMode.CONV)
+    conv_times = {}
+    for number in QUERIES:
+        _, conv_times[number] = run_query(conv, number)
+    rows = []
+    metrics = {}
+    for threshold in (0.02, 0.25, 0.60):
+        engine = create_engine(system, db, ExecutionMode.BISCUIT)
+        engine.config.ndp_selectivity_threshold = threshold
+        offloads = 0
+        speedups = []
+        for number in QUERIES:
+            _, elapsed = run_query(engine, number)
+            offloads += 1 if engine.ndp_scans else 0
+            speedups.append(conv_times[number] / elapsed)
+        rows.append([threshold, offloads] + [round(s, 1) for s in speedups])
+        metrics["offloads_%g" % threshold] = offloads
+        for number, speedup in zip(QUERIES, speedups):
+            metrics["q%d_speedup_%g" % (number, threshold)] = speedup
+    return ExperimentResult(
+        "Ablation", "Offload selectivity threshold sweep (SF=%g)" % SF,
+        ["threshold", "#offloaded"] + ["Q%d speed-up" % q for q in QUERIES],
+        rows,
+        metrics=metrics,
+    )
+
+
+def test_ablation_selectivity_threshold(once):
+    result = once(run_ablation)
+    print()
+    print(result.format())
+    save_result(result, "ablation_selectivity_threshold")
+    m = result.metrics
+    # A tiny threshold rejects even Q6's one-year range...
+    assert m["offloads_0.02"] < m["offloads_0.25"]
+    # ...the default accepts Q6/Q14 but not Q7's two-year range...
+    assert m["offloads_0.25"] == 2
+    # ...and a lax threshold also offloads Q7.
+    assert m["offloads_0.6"] == 3
+    # Q14 only wins when offloaded.
+    assert m["q14_speedup_0.25"] > 20 * m["q14_speedup_0.02"]

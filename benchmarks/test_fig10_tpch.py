@@ -1,0 +1,31 @@
+"""Fig. 10: all 22 TPC-H queries — speed-up and I/O reduction per query.
+
+Shape assertions against the paper: exactly 8 queries leverage NDP; the
+others run at 1.0x; the top query (Q14) gains two orders of magnitude with
+a huge I/O reduction; the geometric-mean/top-5/suite-total figures land in
+the paper's ranges.
+"""
+
+from repro.bench.experiments import exp_fig10_tpch
+from repro.bench.harness import save_result
+from repro.db.tpch.queries import OFFLOADED_QUERIES
+
+
+def test_fig10_tpch(once):
+    result = once(exp_fig10_tpch, 0.01)
+    print()
+    print(result.format())
+    save_result(result, "fig10_tpch")
+    m = result.metrics
+    # Eight queries leverage NDP, as in the paper.
+    assert m["num_offloaded"] == len(OFFLOADED_QUERIES) == 8
+    # Q14 is the headline: two orders of magnitude, driven by I/O reduction.
+    assert m["q14_speedup"] > 80.0
+    assert m["q14_io_reduction"] > 100.0
+    # Non-offloaded queries sit at ~1.0x.
+    for number in (1, 2, 3, 7, 8, 9, 11, 13, 16, 17, 18, 19, 21, 22):
+        assert 0.85 < m["q%d_speedup" % number] < 1.15, number
+    # Aggregates: geomean of the offloaded 8 (paper 6.1x), suite total
+    # (paper 3.6x).
+    assert 3.0 < m["geomean_offloaded"] < 12.0
+    assert 2.5 < m["suite_speedup"] < 6.0

@@ -1,0 +1,29 @@
+"""Fig. 7: sync/async read bandwidth vs request size.
+
+Shape assertions: the host interface caps Conv at ~3.2 GB/s; the internal
+path exceeds it by >25 % at large requests; the matcher-enabled path sits
+between the two; async reaches the cap far earlier than sync.
+"""
+
+from repro.bench.experiments import exp_fig7_read_bandwidth
+from repro.bench.harness import save_result
+from repro.sim.units import KIB, MIB
+
+
+def test_fig7_read_bandwidth(once):
+    result = once(exp_fig7_read_bandwidth)
+    print()
+    print(result.format())
+    save_result(result, "fig7_read_bandwidth")
+    m = result.metrics
+    big = 4 * MIB
+    # Conv is capped by PCIe Gen3 x4.
+    assert 2.9 < m["async_conv_%d" % big] < 3.3
+    # Internal bandwidth exceeds the host cap by >25%.
+    assert m["async_biscuit_%d" % big] > 1.25 * m["async_conv_%d" % big]
+    assert 4.0 < m["async_biscuit_%d" % big] < 4.8
+    # Matcher-enabled sits between Conv and raw internal.
+    assert (m["async_conv_%d" % big] < m["async_matcher_%d" % big]
+            < m["async_biscuit_%d" % big])
+    # Async saturates early: 256 KiB async is already near the cap...
+    assert m["async_biscuit_%d" % (256 * KIB)] > 0.95 * m["async_biscuit_%d" % big]

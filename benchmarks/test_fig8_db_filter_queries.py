@@ -1,0 +1,16 @@
+"""Fig. 8: the two lineitem filter queries (selectivity 0.02 / 0.04)."""
+
+from repro.bench.experiments import exp_fig8_db_filter_queries
+from repro.bench.harness import save_result
+
+
+def test_fig8_db_filter_queries(once):
+    result = once(exp_fig8_db_filter_queries, 0.05)
+    print()
+    print(result.format())
+    save_result(result, "fig8_db_filter_queries")
+    q1 = result.metrics["query1_speedup"]
+    q2 = result.metrics["query2_speedup"]
+    # Paper: ~11x and ~10x.  Band: both large, same order of magnitude.
+    assert 7.0 < q1 < 18.0
+    assert 7.0 < q2 < 18.0

@@ -1,0 +1,39 @@
+"""Fig. 9: system power during Query 1 (Conv vs Biscuit)."""
+
+from repro.bench.experiments import PAPER, exp_fig9_power
+from repro.bench.harness import save_result
+
+
+def _save_series(result):
+    """Write the power-vs-time traces (the actual Fig. 9 curves) as CSV."""
+    import os
+
+    from repro.bench.harness import results_dir
+
+    for label, series in (("conv", result.conv_series),
+                          ("biscuit", result.biscuit_series)):
+        path = os.path.join(results_dir(), "fig9_power_%s_series.csv" % label)
+        with open(path, "w") as handle:
+            handle.write("time_s,watts\n")
+            for when, watts in series:
+                handle.write("%.6f,%.2f\n" % (when, watts))
+
+
+def test_fig9_power(once):
+    result = once(exp_fig9_power, 0.05)
+    print()
+    print(result.format())
+    save_result(result, "fig9_power")
+    _save_series(result)
+    m = result.metrics
+    # Average power during execution matches the paper within a few watts.
+    assert abs(m["conv_avg_w"] - PAPER["conv_w"]) < 5.0
+    assert abs(m["biscuit_avg_w"] - PAPER["biscuit_w"]) < 5.0
+    # Biscuit draws more power (busy SSD) but for far less time.
+    assert m["biscuit_avg_w"] > m["conv_avg_w"]
+    assert m["conv_exec_s"] > 5 * m["biscuit_exec_s"]
+    # The series actually rises above idle during execution.
+    peak_conv = max(w for _, w in result.conv_series)
+    peak_bisc = max(w for _, w in result.biscuit_series)
+    assert peak_conv > PAPER["idle_w"] + 10
+    assert peak_bisc > PAPER["idle_w"] + 20

@@ -1,0 +1,19 @@
+"""Table II: I/O-port round-trip latency for all four port paths."""
+
+from repro.bench.experiments import PAPER, exp_table2_port_latency
+from repro.bench.harness import save_result
+
+
+def test_table2_port_latency(once):
+    result = once(exp_table2_port_latency)
+    print()
+    print(result.format())
+    save_result(result, "table2_port_latency")
+    metrics = result.metrics
+    assert abs(metrics["inter_ssdlet_us"] - PAPER["inter_ssdlet_us"]) < 1.0
+    assert abs(metrics["inter_app_us"] - PAPER["inter_app_us"]) < 1.0
+    assert abs(metrics["d2h_us"] - PAPER["d2h_us"]) < 3.0
+    assert abs(metrics["h2d_us"] - PAPER["h2d_us"]) < 3.0
+    # The paper's ordering: inter-app < inter-SSDlet < D2H < H2D.
+    assert (metrics["inter_app_us"] < metrics["inter_ssdlet_us"]
+            < metrics["d2h_us"] < metrics["h2d_us"])

@@ -1,0 +1,17 @@
+"""Table III: 4 KiB read latency, host path vs device-internal path."""
+
+from repro.bench.experiments import PAPER, exp_table3_read_latency
+from repro.bench.harness import save_result
+
+
+def test_table3_read_latency(once):
+    result = once(exp_table3_read_latency)
+    print()
+    print(result.format())
+    save_result(result, "table3_read_latency")
+    conv = result.metrics["conv_read_us"]
+    biscuit = result.metrics["biscuit_read_us"]
+    assert abs(conv - PAPER["conv_read_us"]) < 2.0
+    assert abs(biscuit - PAPER["biscuit_read_us"]) < 2.0
+    # ~18% shorter latency for the internal read (the paper's headline).
+    assert 0.12 < (conv - biscuit) / conv < 0.25

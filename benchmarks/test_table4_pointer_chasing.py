@@ -1,0 +1,20 @@
+"""Table IV: pointer-chasing execution time under background load."""
+
+from repro.bench.experiments import PAPER, exp_table4_pointer_chasing
+from repro.bench.harness import save_result
+
+
+def test_table4_pointer_chasing(once):
+    result = once(exp_table4_pointer_chasing)
+    print()
+    print(result.format())
+    save_result(result, "table4_pointer_chasing")
+    m = result.metrics
+    # Unloaded: within a few percent of the paper.
+    assert abs(m["conv_s_0"] - PAPER["chase_conv_s"][0]) / PAPER["chase_conv_s"][0] < 0.05
+    assert abs(m["biscuit_s_0"] - PAPER["chase_biscuit_s"][0]) / PAPER["chase_biscuit_s"][0] < 0.05
+    # Conv degrades monotonically with load; Biscuit is insensitive.
+    assert m["conv_s_24"] > m["conv_s_12"] > m["conv_s_0"]
+    assert abs(m["biscuit_s_24"] - m["biscuit_s_0"]) / m["biscuit_s_0"] < 0.02
+    # At least the paper's ~11% gain at full load.
+    assert m["conv_s_24"] / m["biscuit_s_24"] > 1.11

@@ -1,0 +1,19 @@
+"""Table V: string search — host grep vs the hardware pattern matcher."""
+
+from repro.bench.experiments import PAPER, exp_table5_string_search
+from repro.bench.harness import save_result
+
+
+def test_table5_string_search(once):
+    result = once(exp_table5_string_search)
+    print()
+    print(result.format())
+    save_result(result, "table5_string_search")
+    m = result.metrics
+    # Within ~10% of the paper's absolute times at every load level.
+    for i, load in enumerate((0, 6, 12, 18, 24)):
+        assert abs(m["conv_s_%d" % load] - PAPER["search_conv_s"][i]) < 1.5
+        assert abs(m["biscuit_s_%d" % load] - PAPER["search_biscuit_s"][i]) < 0.5
+    # Speed-up grows with load: >5x unloaded, >8x at 24 threads.
+    assert m["conv_s_0"] / m["biscuit_s_0"] > 5.0
+    assert m["conv_s_24"] / m["biscuit_s_24"] > 8.0

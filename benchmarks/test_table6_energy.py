@@ -1,0 +1,16 @@
+"""Table VI: overall energy consumption for Query 1."""
+
+from repro.bench.experiments import PAPER, exp_table6_energy
+from repro.bench.harness import save_result
+
+
+def test_table6_energy(once):
+    result = once(exp_table6_energy, 0.05)
+    print()
+    print(result.format())
+    save_result(result, "table6_energy")
+    m = result.metrics
+    # Paper: 60.5 kJ vs 12.2 kJ — roughly a 5x energy saving.
+    assert abs(m["conv_kj"] - PAPER["conv_kj"]) / PAPER["conv_kj"] < 0.25
+    assert abs(m["biscuit_kj"] - PAPER["biscuit_kj"]) / PAPER["biscuit_kj"] < 0.25
+    assert 3.5 < m["energy_ratio"] < 7.0

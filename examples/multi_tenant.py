@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Multi-user sessions: the extension Section VIII says is in progress.
+
+Two users share one Biscuit SSD.  Each gets a session with its own file
+grants and memory quota.  Alice's SSDlets filter her log; Bob's filter his;
+Bob cannot touch Alice's file even with her token, and a session that
+over-allocates hits its own quota instead of starving the other user.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.core import SSD, SSDLet, SSDLetProxy, SSDletModule, write_module_image
+from repro.core.errors import MemoryQuotaError, PortClosed, SafetyViolation
+from repro.host.platform import System
+from repro.sim.units import MIB
+
+TENANT_MODULE = SSDletModule("multi-tenant")
+
+
+class CountLines(SSDLet):
+    """Counts lines containing a keyword.  Args: (file_token, keyword)."""
+
+    OUT_TYPES = (int,)
+
+    def run(self):
+        handle = yield from self.open(self.arg(0))
+        data = yield from handle.read(0, handle.size)
+        yield from self.compute(len(data) / 120e6 * 1e6)
+        count = sum(1 for line in data.decode().splitlines()
+                    if self.arg(1) in line)
+        yield from self.out(0).put(count)
+
+
+class Hog(SSDLet):
+    """Tries to allocate far too much device memory."""
+
+    def run(self):
+        yield self._runtime.sim.timeout(0)
+        self.malloc(32 * MIB)  # quota says no
+
+
+TENANT_MODULE.register("idCountLines", CountLines)
+TENANT_MODULE.register("idHog", Hog)
+
+
+def main():
+    system = System()
+    ssd = SSD(system)
+    write_module_image(system.fs, "/var/isc/slets/tenant.slet", TENANT_MODULE)
+    system.fs.install("/data/alice.log", b"ok\nERROR one\nok\nERROR two\n" * 50)
+    system.fs.install("/data/bob.log", b"fine\nWARN x\nfine\n" * 80)
+
+    alice = ssd.create_session("alice", memory_quota=2 * MIB)
+    bob = ssd.create_session("bob", memory_quota=1 * MIB)
+    alice_token = alice.file("/data/alice.log")
+    bob_token = bob.file("/data/bob.log")
+
+    def count(session, token, keyword):
+        def program():
+            mid = yield from ssd.loadModule("/var/isc/slets/tenant.slet")
+            app = session.application()
+            task = SSDLetProxy(app, mid, "idCountLines", (token, keyword))
+            port = app.connectTo(task.out(0), int)
+            yield from app.start()
+            value = yield from port.get()
+            yield from app.wait()
+            return value
+
+        return system.run_fiber(program())
+
+    print("alice counts ERROR lines in her log:", count(alice, alice_token, "ERROR"))
+    print("bob counts WARN lines in his log:   ", count(bob, bob_token, "WARN"))
+
+    # Bob steals Alice's token — the runtime blocks the open.
+    def steal():
+        mid = yield from ssd.loadModule("/var/isc/slets/tenant.slet")
+        app = bob.application("thief")
+        task = SSDLetProxy(app, mid, "idCountLines", (alice_token, "ERROR"))
+        port = app.connectTo(task.out(0), int)
+        yield from app.start()
+        try:
+            yield from port.get()
+            yield from app.wait()
+        except (SafetyViolation, PortClosed):
+            return "SafetyViolation"
+
+    print("bob using alice's token:            ", system.run_fiber(steal()))
+
+    # Bob also exceeds his memory quota.
+    def hog():
+        mid = yield from ssd.loadModule("/var/isc/slets/tenant.slet")
+        app = bob.application("hog")
+        SSDLetProxy(app, mid, "idHog")
+        yield from app.start()
+        try:
+            yield from app.wait()
+        except MemoryQuotaError:
+            return "MemoryQuotaError"
+
+    print("bob allocating 32 MiB on a 1 MiB quota:", system.run_fiber(hog()))
+    print("\nOK — sessions isolate files and bound memory per user.")
+
+
+if __name__ == "__main__":
+    main()

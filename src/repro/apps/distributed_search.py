@@ -1,0 +1,155 @@
+"""Scale-up NDP: sharded string search across multiple SSDs (Fig. 1(b)).
+
+Section VI's RAID discussion: modern multi-SSD deployments use a
+software-defined data layout with per-disk file semantics — exactly what
+NDP needs.  Here a logical log is sharded file-per-SSD (RAID-0 at file
+granularity); Biscuit runs Searcher SSDlets *on every device at once*,
+while Conv must pull every shard through the host interface (and through
+the shared PCIe fabric, when one is configured).
+
+This is the paper's "the gap can grow if there are many SSDs on a switched
+PCIe fabric" claim, made runnable.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Tuple
+
+from repro.apps.string_search import (
+    STRING_SEARCH_MODULE,
+    MODULE_IMAGE_PATH,
+    biscuit_string_search,
+    conv_string_search,
+    install_weblog_analytic,
+)
+from repro.core import SSD, Application, DeviceFile, Packet, SSDLetProxy, write_module_image
+from repro.host.platform import System
+from repro.sim.engine import all_of
+
+__all__ = [
+    "install_sharded_weblog",
+    "conv_sharded_search",
+    "biscuit_sharded_search",
+    "run_conv_sharded",
+    "run_biscuit_sharded",
+]
+
+SHARD_PATH = "/logs/shard.log"
+
+
+def install_sharded_weblog(
+    system: System,
+    total_bytes: int,
+    keyword: str,
+    page_match_probability: float = 0.02,
+) -> List[str]:
+    """Shard a logical web log across every SSD; returns per-shard paths."""
+    share = total_bytes // system.num_ssds
+    paths = []
+    for index, fs in enumerate(system.filesystems):
+        if not fs.exists(SHARD_PATH):
+            fs.install_synthetic(
+                SHARD_PATH, share,
+                analytic_profile={keyword.encode(): page_match_probability},
+            )
+        paths.append(SHARD_PATH)
+    return paths
+
+
+def conv_sharded_search(system: System, keyword: str) -> Generator:
+    """Fiber: the host scans every shard itself (readahead + Boyer-Moore).
+
+    Shards are read concurrently — the host has cores to spare — but every
+    byte crosses its SSD's link, the shared fabric, and the host memory
+    system.
+    """
+    fibers = []
+    for index in range(system.num_ssds):
+        fibers.append(system.sim.process(
+            _conv_one_shard(system, index, keyword), name="conv-shard%d" % index
+        ))
+    counts = yield all_of(system.sim, fibers)
+    return sum(counts)
+
+
+def _conv_one_shard(system: System, index: int, keyword: str) -> Generator:
+    handle = system.open_host(SHARD_PATH, ssd=index)
+    size = handle.size
+    chunk = 1 << 20
+    offset = 0
+    matches = 0
+    pending = None
+    while offset < size:
+        take = min(chunk, size - offset)
+        if pending is None:
+            pending = handle.aread_timing_only(offset, take)
+        yield pending
+        nxt = offset + take
+        if nxt < size:
+            pending = handle.aread_timing_only(nxt, min(chunk, size - nxt))
+        else:
+            pending = None
+        yield from system.cpu.scan(take)
+        offset = nxt
+    return matches
+
+
+def biscuit_sharded_search(
+    system: System, keyword: str, searchers_per_ssd: int = 4
+) -> Generator:
+    """Fiber: every SSD filters its own shard; only counts cross the fabric."""
+    fibers = []
+    for index in range(system.num_ssds):
+        fibers.append(system.sim.process(
+            _biscuit_one_shard(system, index, keyword, searchers_per_ssd),
+            name="ndp-shard%d" % index,
+        ))
+    counts = yield all_of(system.sim, fibers)
+    return sum(counts)
+
+
+def _biscuit_one_shard(
+    system: System, index: int, keyword: str, searchers: int
+) -> Generator:
+    ssd = SSD(system, device_index=index)
+    fs = system.filesystems[index]
+    if not fs.exists(MODULE_IMAGE_PATH):
+        write_module_image(fs, MODULE_IMAGE_PATH, STRING_SEARCH_MODULE)
+    mid = yield from ssd.loadModule(MODULE_IMAGE_PATH)
+    app = Application(ssd, "search-ssd%d" % index)
+    token = DeviceFile(ssd, SHARD_PATH, use_matcher=True)
+    size = fs.lookup(SHARD_PATH).size
+    page = fs.page_size
+    share_pages = ((size + page - 1) // page + searchers - 1) // searchers
+    share = share_pages * page
+    ports = []
+    for worker in range(searchers):
+        begin = worker * share
+        if begin >= size:
+            break
+        proxy = SSDLetProxy(
+            app, mid, "idSearcher",
+            (token, keyword, begin, min(share, size - begin)),
+        )
+        ports.append(app.connectTo(proxy.out(0), int))
+    yield from app.start()
+    total = 0
+    for port in ports:
+        count = yield from port.get_opt()
+        if count is not None:
+            total += count
+    yield from app.wait()
+    app.stop()
+    return total
+
+
+def run_conv_sharded(system: System, keyword: str) -> Tuple[int, float]:
+    start = system.sim.now_s
+    count = system.run_fiber(conv_sharded_search(system, keyword))
+    return count, system.sim.now_s - start
+
+
+def run_biscuit_sharded(system: System, keyword: str) -> Tuple[int, float]:
+    start = system.sim.now_s
+    count = system.run_fiber(biscuit_sharded_search(system, keyword))
+    return count, system.sim.now_s - start

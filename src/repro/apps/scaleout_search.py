@@ -1,0 +1,189 @@
+"""Scale-out search: three tiers of "near-data" (Fig. 1(c)/(d)).
+
+The same sharded log search run three ways across a storage cluster:
+
+1. **pull** — storage nodes act as dumb networked disks (Fig. 1(c)): every
+   byte crosses the node's SSDs, the node, the network, and the client's
+   memory system, where the client scans it.
+2. **node compute** — the Hadoop-style arrangement (Fig. 1(d)): each node
+   scans its own shard on its server CPUs and returns only counts.
+3. **in-SSD NDP** — Biscuit inside every node's SSDs: the matcher IP scans
+   at flash wire speed; nodes return only counts.
+
+Each tier moves the computation closer to the data; each tier's throughput
+shows it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Tuple
+
+from repro.apps.distributed_search import _biscuit_one_shard
+from repro.net.cluster import ScaleOutCluster, StorageNode
+from repro.sim.engine import all_of
+from repro.sim.resources import Resource
+from repro.sim.units import MIB
+
+__all__ = [
+    "install_cluster_weblog",
+    "search_pull",
+    "search_node_compute",
+    "search_ndp",
+    "run_strategy",
+]
+
+SHARD_PATH = "/logs/shard.log"
+CHUNK = 1 * MIB
+
+
+def install_cluster_weblog(
+    cluster: ScaleOutCluster,
+    total_bytes: int,
+    keyword: str,
+    page_match_probability: float = 0.02,
+) -> None:
+    """Shard a logical log across every SSD of every node."""
+    shards = sum(node.system.num_ssds for node in cluster.nodes)
+    share = total_bytes // shards
+    for node in cluster.nodes:
+        for fs in node.system.filesystems:
+            if not fs.exists(SHARD_PATH):
+                fs.install_synthetic(
+                    SHARD_PATH, share,
+                    analytic_profile={keyword.encode(): page_match_probability},
+                )
+
+
+# ----------------------------------------------------------------- 1. pull
+def search_pull(cluster: ScaleOutCluster, keyword: str) -> Generator:
+    """Fiber: nodes ship raw shard bytes; the client scans everything."""
+    # Bound client-side scan queueing per stream (double buffering).
+    def node_work(node: StorageNode) -> Generator:
+        streams = [
+            cluster.sim.process(
+                _pull_one_shard(cluster, node, ssd, keyword),
+                name="pull-%s-ssd%d" % (node.name, ssd),
+            )
+            for ssd in range(node.system.num_ssds)
+        ]
+        counts = yield all_of(cluster.sim, streams)
+        return sum(counts)
+
+    values = yield from cluster.fan_out(node_work)
+    return sum(values)
+
+
+def _pull_one_shard(cluster, node: StorageNode, ssd: int, keyword: str) -> Generator:
+    handle = node.system.open_host(SHARD_PATH, ssd=ssd)
+    size = handle.size
+    scan_slots = Resource(cluster.sim, capacity=2, name="scan-slots")
+    scans: List = []
+    offset = 0
+    pending = None
+    while offset < size:
+        take = min(CHUNK, size - offset)
+        if pending is None:
+            pending = handle.aread_timing_only(offset, take)
+        yield pending  # shard bytes off the node's SSD
+        nxt = offset + take
+        if nxt < size:
+            pending = handle.aread_timing_only(nxt, min(CHUNK, size - nxt))
+        else:
+            pending = None
+        yield from node.link.send(take)  # raw bytes over the network
+        yield scan_slots.request()  # backpressure from the client scan
+        scans.append(cluster.sim.process(
+            _client_scan(cluster, scan_slots, take), name="client-scan"
+        ))
+        offset = nxt
+    if scans:
+        yield all_of(cluster.sim, scans)
+    return 0  # analytic mode: timing only
+
+
+def _client_scan(cluster, slots: Resource, nbytes: int) -> Generator:
+    try:
+        yield from cluster.client_cpu.scan(nbytes)
+    finally:
+        slots.release()
+
+
+# --------------------------------------------------------- 2. node compute
+def search_node_compute(
+    cluster: ScaleOutCluster, keyword: str, scan_workers: int = 6
+) -> Generator:
+    """Fiber: each node scans its own shards on its server CPUs."""
+
+    def node_work(node: StorageNode) -> Generator:
+        fibers = []
+        for ssd in range(node.system.num_ssds):
+            handle = node.system.open_host(SHARD_PATH, ssd=ssd)
+            size = handle.size
+            per_worker = max(CHUNK, (size + scan_workers - 1) // scan_workers)
+            for worker in range(scan_workers):
+                begin = worker * per_worker
+                if begin >= size:
+                    break
+                fibers.append(cluster.sim.process(
+                    _node_scan_range(node, handle, begin,
+                                     min(per_worker, size - begin)),
+                    name="%s-scan%d" % (node.name, worker),
+                ))
+        counts = yield all_of(cluster.sim, fibers)
+        return sum(counts)
+
+    values = yield from cluster.fan_out(node_work)
+    return sum(values)
+
+
+def _node_scan_range(node: StorageNode, handle, begin: int, length: int) -> Generator:
+    offset = begin
+    end = begin + length
+    pending = None
+    while offset < end:
+        take = min(CHUNK, end - offset)
+        if pending is None:
+            pending = handle.aread_timing_only(offset, take)
+        yield pending
+        nxt = offset + take
+        if nxt < end:
+            pending = handle.aread_timing_only(nxt, min(CHUNK, end - nxt))
+        else:
+            pending = None
+        yield from node.system.cpu.scan(take)
+        offset = nxt
+    return 0  # analytic mode: timing only
+
+
+# --------------------------------------------------------------- 3. in-SSD
+def search_ndp(cluster: ScaleOutCluster, keyword: str,
+               searchers_per_ssd: int = 4) -> Generator:
+    """Fiber: Biscuit Searcher SSDlets inside every node's SSDs."""
+
+    def node_work(node: StorageNode) -> Generator:
+        fibers = [
+            cluster.sim.process(
+                _biscuit_one_shard(node.system, ssd, keyword, searchers_per_ssd),
+                name="%s-ndp%d" % (node.name, ssd),
+            )
+            for ssd in range(node.system.num_ssds)
+        ]
+        counts = yield all_of(cluster.sim, fibers)
+        return sum(counts)
+
+    values = yield from cluster.fan_out(node_work)
+    return sum(values)
+
+
+STRATEGIES = {
+    "pull": search_pull,
+    "node-compute": search_node_compute,
+    "in-ssd-ndp": search_ndp,
+}
+
+
+def run_strategy(cluster: ScaleOutCluster, strategy: str, keyword: str) -> Tuple[int, float]:
+    """Run one strategy to completion; returns (count, elapsed seconds)."""
+    start = cluster.sim.now_s
+    count = cluster.run_fiber(STRATEGIES[strategy](cluster, keyword))
+    return count, cluster.sim.now_s - start

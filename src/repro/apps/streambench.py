@@ -1,0 +1,85 @@
+"""StreamBench: the background memory-load generator of Section V-C.
+
+The paper stresses the host by running N threads of STREAM-style memory
+traffic while measuring pointer chasing (Table IV) and string search
+(Table V).  Host-side memory-bound work slows under that traffic; the SSD's
+internal work does not.
+
+Two usage modes:
+
+* :func:`with_background_load` / :meth:`StreamBench.start` — set the host
+  contention level (the calibrated curve in :class:`repro.host.cpu.HostCPU`).
+* ``occupy_cores=True`` — additionally pin simulated host cores with
+  always-busy fibers, so power/utilization accounting sees the load too.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List
+
+from repro.host.platform import System
+from repro.sim.engine import Interrupt, Process
+from repro.sim.units import ms_to_ns
+
+__all__ = ["StreamBench", "with_background_load"]
+
+
+class StreamBench:
+    """N background memory-bandwidth hogs on the host."""
+
+    SLICE_NS = ms_to_ns(1.0)
+
+    def __init__(self, system: System, threads: int, occupy_cores: bool = False):
+        if threads < 0:
+            raise ValueError("thread count cannot be negative")
+        self.system = system
+        self.threads = threads
+        self.occupy_cores = occupy_cores
+        self._fibers: List[Process] = []
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.system.cpu.set_background_load(self.threads)
+        if self.occupy_cores:
+            for i in range(min(self.threads, self.system.cpu.cores.capacity)):
+                fiber = self.system.sim.process(self._hog(), name="streambench%d" % i)
+                fiber.defused = True
+                self._fibers.append(fiber)
+
+    def stop(self) -> None:
+        if not self._running:
+            return
+        self._running = False
+        self.system.cpu.set_background_load(0)
+        for fiber in self._fibers:
+            if fiber.is_alive:
+                fiber.interrupt("streambench stop")
+        self._fibers = []
+
+    def _hog(self):
+        cores = self.system.cpu.cores
+        sim = self.system.sim
+        try:
+            while True:
+                yield cores.request()
+                try:
+                    yield sim.timeout(self.SLICE_NS)
+                finally:
+                    cores.release()
+        except Interrupt:
+            return
+
+
+@contextlib.contextmanager
+def with_background_load(system: System, threads: int) -> Iterator[StreamBench]:
+    """Context manager: run the measurement body under N background threads."""
+    bench = StreamBench(system, threads)
+    bench.start()
+    try:
+        yield bench
+    finally:
+        bench.stop()

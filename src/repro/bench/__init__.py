@@ -1,0 +1,11 @@
+"""Experiment harness: one function per paper table/figure.
+
+Each experiment builds a fresh :class:`~repro.host.platform.System`, runs
+the workload, and returns an :class:`~repro.bench.harness.ExperimentResult`
+whose ``format()`` prints the same rows/series the paper reports, side by
+side with the paper's numbers.
+"""
+
+from repro.bench.harness import ExperimentResult, format_table
+
+__all__ = ["ExperimentResult", "format_table"]

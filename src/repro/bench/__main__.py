@@ -1,0 +1,72 @@
+"""Command-line experiment runner.
+
+Run every paper experiment (or a chosen subset) and print the reports::
+
+    python -m repro.bench                 # everything
+    python -m repro.bench table2 fig10    # selected experiments
+    python -m repro.bench --list          # show what exists
+    python -m repro.bench fig10 --sf 0.02 # override the TPC-H scale factor
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+from repro.bench.harness import save_result
+
+EXPERIMENTS = {
+    "table2": ("Table II — I/O port latencies", experiments.exp_table2_port_latency, False),
+    "table3": ("Table III — read latency", experiments.exp_table3_read_latency, False),
+    "fig7": ("Fig. 7 — read bandwidth", experiments.exp_fig7_read_bandwidth, False),
+    "table4": ("Table IV — pointer chasing", experiments.exp_table4_pointer_chasing, False),
+    "table5": ("Table V — string search", experiments.exp_table5_string_search, False),
+    "fig8": ("Fig. 8 — DB filter queries", experiments.exp_fig8_db_filter_queries, True),
+    "fig9": ("Fig. 9 — power", experiments.exp_fig9_power, True),
+    "table6": ("Table VI — energy", experiments.exp_table6_energy, True),
+    "fig10": ("Fig. 10 — full TPC-H", experiments.exp_fig10_tpch, True),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the Biscuit paper's tables and figures.",
+    )
+    parser.add_argument("experiments", nargs="*",
+                        help="experiment names (default: all)")
+    parser.add_argument("--list", action="store_true", help="list experiments")
+    parser.add_argument("--sf", type=float, default=None,
+                        help="TPC-H scale factor for the DB experiments")
+    parser.add_argument("--no-save", action="store_true",
+                        help="do not write benchmarks/results/*.txt")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name, (title, _, takes_sf) in EXPERIMENTS.items():
+            extra = "  (honors --sf)" if takes_sf else ""
+            print("%-8s %s%s" % (name, title, extra))
+        return 0
+
+    chosen = args.experiments or list(EXPERIMENTS)
+    unknown = [name for name in chosen if name not in EXPERIMENTS]
+    if unknown:
+        parser.error("unknown experiment(s): %s (try --list)" % ", ".join(unknown))
+
+    for name in chosen:
+        title, fn, takes_sf = EXPERIMENTS[name]
+        print("\n### %s" % title)
+        started = time.time()
+        result = fn(args.sf) if (takes_sf and args.sf is not None) else fn()
+        print(result.format())
+        print("[%.1fs wall]" % (time.time() - started))
+        if not args.no_save:
+            path = save_result(result, name)
+            print("saved: %s" % path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The Biscuit framework — the paper's primary contribution.
+
+Host side (libsisc analogue): :class:`~repro.core.ssd_api.SSD`,
+:class:`~repro.core.application.Application`,
+:class:`~repro.core.application.SSDLetProxy`, host port classes.
+
+Device side (libslet analogue): :class:`~repro.core.ssdlet.SSDLet`,
+:class:`~repro.core.module.SSDletModule`, the
+:class:`~repro.core.runtime.BiscuitRuntime` with cooperative fibers,
+dynamic module loading and system/user memory allocators.
+
+Both sides share the typed port model of Section III-C: inter-SSDlet ports
+(general types, SPSC/SPMC/MPSC), host-to-device ports and inter-application
+ports (Packet only, SPSC only), all implemented as bounded queues.
+"""
+
+from repro.core.application import Application, SSDLetProxy
+from repro.core.hostlet import HostTask, HostTaskProxy
+from repro.core.errors import (
+    BiscuitError,
+    MemoryQuotaError,
+    ModuleError,
+    NotSerializableError,
+    PortClosed,
+    PortConnectionError,
+    SafetyViolation,
+    TypeMismatchError,
+)
+from repro.core.module import SSDletModule, register_ssdlet, write_module_image
+from repro.core.ports import PortKind
+from repro.core.runtime import BiscuitRuntime
+from repro.core.session import SessionFile, UserSession
+from repro.core.ssd_api import SSD, DeviceFile
+from repro.core.ssdlet import SSDLet
+from repro.core.types import Packet, deserialize, is_serializable, serialize
+
+__all__ = [
+    "SSD",
+    "DeviceFile",
+    "Application",
+    "SSDLetProxy",
+    "SSDLet",
+    "HostTask",
+    "HostTaskProxy",
+    "UserSession",
+    "SessionFile",
+    "SSDletModule",
+    "register_ssdlet",
+    "write_module_image",
+    "BiscuitRuntime",
+    "Packet",
+    "PortKind",
+    "serialize",
+    "deserialize",
+    "is_serializable",
+    "BiscuitError",
+    "TypeMismatchError",
+    "NotSerializableError",
+    "PortConnectionError",
+    "PortClosed",
+    "ModuleError",
+    "MemoryQuotaError",
+    "SafetyViolation",
+]

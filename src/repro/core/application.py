@@ -1,0 +1,295 @@
+"""Host-side Application and SSDLet proxy classes (the libsisc surface).
+
+A host program builds an :class:`Application`, declares proxy
+:class:`SSDLetProxy` instances, wires ports with :meth:`Application.connect` /
+:meth:`Application.connectTo` / :meth:`Application.connectFrom`, then calls
+:meth:`Application.start` — which performs the control-channel round trips
+that create device instances, establish every connection, and launch the
+fibers, "so that all SSDlets begin execution after their communication
+channels are completely set up" (Section III-E).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.core.errors import PortConnectionError, TypeMismatchError
+from repro.core.ports import (
+    Connection,
+    HostInputPort,
+    HostOutputPort,
+    PortKind,
+    connect_ports,
+)
+from repro.core.types import spec_name
+
+__all__ = ["Application", "SSDLetProxy", "Endpoint"]
+
+
+class Endpoint:
+    """A (proxy, direction, index) port reference used before start()."""
+
+    __slots__ = ("proxy", "direction", "index")
+
+    def __init__(self, proxy: "SSDLetProxy", direction: str, index: int):
+        self.proxy = proxy
+        self.direction = direction
+        self.index = index
+
+    @property
+    def dtype(self) -> Any:
+        cls = self.proxy.ssdlet_class
+        types = cls.OUT_TYPES if self.direction == "out" else cls.IN_TYPES
+        try:
+            return types[self.index]
+        except IndexError:
+            raise PortConnectionError(
+                "%s has no %sput port %d"
+                % (cls.__name__, self.direction, self.index)
+            ) from None
+
+    def resolve(self):
+        """The live device port (valid after Application.start)."""
+        instance = self.proxy.instance
+        if instance is None:
+            raise PortConnectionError("application not started yet")
+        ports = instance._out_ports if self.direction == "out" else instance._in_ports
+        return ports[self.index]
+
+    def __repr__(self) -> str:
+        return "<%s.%s(%d)>" % (self.proxy.class_id, self.direction, self.index)
+
+
+class SSDLetProxy:
+    """Host-side proxy for one device SSDlet instance (libsisc's SSDLet)."""
+
+    def __init__(self, app: "Application", mid: int, class_id: str, args: Tuple = ()):
+        self.app = app
+        self.mid = mid
+        self.class_id = class_id
+        self.args = tuple(args)
+        self.instance = None  # device-side SSDLet, set by Application.start
+        self.ssdlet_class = app.ssd.runtime._get_module(mid).module.lookup(class_id)
+        app._register_proxy(self)
+
+    def out(self, index: int) -> Endpoint:
+        return Endpoint(self, "out", index)
+
+    def in_(self, index: int) -> Endpoint:
+        return Endpoint(self, "in", index)
+
+
+class Application:
+    """A cooperating group of SSDlets coordinated from the host."""
+
+    _names = itertools.count(1)
+
+    def __init__(self, ssd, name: str = ""):
+        self.ssd = ssd
+        self.name = name or "app%d" % next(Application._names)
+        self.device_app = ssd.runtime.register_application(self.name)
+        self._proxies: List[SSDLetProxy] = []
+        self._host_tasks: List[Any] = []  # HostTaskProxy list
+        self._host_fibers: List[Any] = []
+        self._links: List[Tuple[Endpoint, Endpoint]] = []
+        # (role, host_port, endpoint): role is "to-host" or "from-host"
+        self._host_links: List[Tuple[str, Any, Endpoint]] = []
+        self._data_channels_held = 0
+        self.started = False
+        self._conn_seq = itertools.count(1)
+
+    def _register_proxy(self, proxy: SSDLetProxy) -> None:
+        if self.started:
+            raise PortConnectionError("cannot add SSDlets after start()")
+        self._proxies.append(proxy)
+
+    def _register_host_task(self, proxy) -> None:
+        if self.started:
+            raise PortConnectionError("cannot add host tasks after start()")
+        self._host_tasks.append(proxy)
+
+    # ----------------------------------------------------------------- wiring
+    def connect(self, out_ep: Endpoint, in_ep: Endpoint) -> None:
+        """Link an SSDlet output to an SSDlet input (types must be identical)."""
+        if out_ep.direction != "out" or in_ep.direction != "in":
+            raise PortConnectionError("connect(output_endpoint, input_endpoint)")
+        if out_ep.dtype != in_ep.dtype:
+            raise TypeMismatchError(
+                "cannot connect %s output to %s input"
+                % (spec_name(out_ep.dtype), spec_name(in_ep.dtype))
+            )
+        self._links.append((out_ep, in_ep))
+
+    def connectTo(self, out_ep: Endpoint, dtype: Any) -> HostInputPort:
+        """Route an SSDlet output back to the host; returns the host port."""
+        if dtype != out_ep.dtype:
+            raise TypeMismatchError(
+                "connectTo declared %s but port is %s"
+                % (spec_name(dtype), spec_name(out_ep.dtype))
+            )
+        port = HostInputPort(
+            self.ssd.system.sim, "host:%s" % self.name, len(self._host_links),
+            dtype, self._host_compute, self.ssd.system.config,
+        )
+        self._host_links.append(("to-host", port, out_ep))
+        return port
+
+    def connectFrom(self, dtype: Any, in_ep: Endpoint) -> HostOutputPort:
+        """Feed an SSDlet input from the host; returns the host port."""
+        if dtype != in_ep.dtype:
+            raise TypeMismatchError(
+                "connectFrom declared %s but port is %s"
+                % (spec_name(dtype), spec_name(in_ep.dtype))
+            )
+        port = HostOutputPort(
+            self.ssd.system.sim, "host:%s" % self.name, len(self._host_links),
+            dtype, self._host_compute, self._interface_to_device,
+            self.ssd.system.config,
+        )
+        self._host_links.append(("from-host", port, in_ep))
+        return port
+
+    # ------------------------------------------------------------------ start
+    def start(self) -> Generator:
+        """Fiber: create instances, establish connections, begin execution."""
+        if self.started:
+            raise PortConnectionError("application %s already started" % self.name)
+        runtime = self.ssd.runtime
+        manager = self.ssd.channels
+        # 1. Create device instances (one control round trip each) and host
+        #    task instances (local work, no control traffic).
+        for proxy in self._proxies:
+            proxy.instance = yield from manager.control_call(
+                runtime.instantiate(self.device_app, proxy.mid, proxy.class_id, proxy.args)
+            )
+        for proxy in self._host_tasks:
+            proxy.instance = self._instantiate_host_task(proxy)
+        # 2. Wire device-side links (batched into one control call).
+        yield from manager.control_call(self._wire_device_links())
+        # 3. Wire host-device links; each takes a data channel from the pool.
+        for role, port, endpoint in self._host_links:
+            yield from manager.acquire_data_channel()
+            self._data_channels_held += 1
+            connection = Connection(
+                self.ssd.system.sim, PortKind.HOST_DEVICE, port.dtype,
+                name="conn%d" % next(self._conn_seq),
+            )
+            if role == "to-host":
+                connect_ports(endpoint.resolve(), port, connection)
+            else:
+                connect_ports(port, endpoint.resolve(), connection)
+        # 4. Start all fibers (device first, then the host tasks).
+        yield from manager.control_call(runtime.start_application(self.device_app))
+        for proxy in self._host_tasks:
+            fiber = self.ssd.system.sim.process(
+                self._host_task_body(proxy.instance),
+                name="host:%s" % proxy.class_id,
+            )
+            fiber.defused = True
+            self._host_fibers.append(fiber)
+        self.started = True
+
+    def _instantiate_host_task(self, proxy):
+        from repro.core.ports import HostInputPort, HostOutputPort
+
+        cls = proxy.task_class
+        cls.validate_args(proxy.args)
+        instance = cls()
+        instance._system = self.ssd.system
+        instance._app = self
+        instance._args = proxy.args
+        instance._instance_id = "host:%s/%s" % (self.name, cls.__name__)
+        sim = self.ssd.system.sim
+        config = self.ssd.system.config
+        instance._in_ports = tuple(
+            HostInputPort(sim, instance._instance_id, i, dtype,
+                          self._host_compute, config)
+            for i, dtype in enumerate(cls.IN_TYPES)
+        )
+        instance._out_ports = tuple(
+            HostOutputPort(sim, instance._instance_id, i, dtype,
+                           self._host_compute, self._interface_to_device, config)
+            for i, dtype in enumerate(cls.OUT_TYPES)
+        )
+        return instance
+
+    def _host_task_body(self, instance) -> Generator:
+        try:
+            yield from instance.run()
+        finally:
+            instance.close_outputs()
+
+    def _link_kind(self, out_ep: Endpoint, in_ep: Endpoint) -> PortKind:
+        out_host = getattr(out_ep.proxy, "is_host", False)
+        in_host = getattr(in_ep.proxy, "is_host", False)
+        if out_host and in_host:
+            return PortKind.HOST_LOCAL
+        if out_host or in_host:
+            return PortKind.HOST_DEVICE
+        same_app = out_ep.proxy.app.device_app is in_ep.proxy.app.device_app
+        return PortKind.INTER_SSDLET if same_app else PortKind.INTER_APP
+
+    def _wire_device_links(self) -> Generator:
+        sim = self.ssd.system.sim
+        runtime = self.ssd.runtime
+        manager = self.ssd.channels
+        todo = self._links + runtime.pending_links
+        runtime.pending_links = []
+        wired = 0
+        for out_ep, in_ep in todo:
+            if out_ep.proxy.instance is None or in_ep.proxy.instance is None:
+                # The peer application has not created its instances yet
+                # (inter-application link); defer to its start().
+                runtime.pending_links.append((out_ep, in_ep))
+                continue
+            out_port = out_ep.resolve()
+            in_port = in_ep.resolve()
+            connection = out_port.connection or in_port.connection
+            if connection is None:
+                kind = self._link_kind(out_ep, in_ep)
+                if kind is PortKind.HOST_DEVICE:
+                    # Host-device links consume a data channel like
+                    # connectTo/connectFrom ports do.
+                    yield from manager.acquire_data_channel()
+                    self._data_channels_held += 1
+                connection = Connection(
+                    sim, kind, out_ep.dtype, name="conn%d" % next(self._conn_seq)
+                )
+            connect_ports(out_port, in_port, connection)
+            wired += 1
+        # Port wiring is device-side bookkeeping; charge a small constant.
+        yield from runtime.device.controller.device_compute(2.0 * max(1, wired))
+
+    # ------------------------------------------------------------- lifecycle
+    def wait(self) -> Generator:
+        """Fiber: block until every task of this application finished."""
+        if not self.started:
+            raise PortConnectionError("wait() before start()")
+        if self._host_fibers:
+            from repro.sim.engine import all_of
+            yield all_of(self.ssd.system.sim, self._host_fibers)
+        yield from self.ssd.runtime.wait_application(self.device_app)
+        # Completion notification crosses the device-to-host path once.
+        config = self.ssd.system.config
+        yield from self.ssd.channels.interface_crossing(64, to_host=True)
+        yield from self._host_compute(config.d2h_host_receiver_us)
+
+    def stop(self) -> None:
+        """Interrupt all still-running task fibers and release channels."""
+        for fiber in self.device_app.fibers + self._host_fibers:
+            if fiber.is_alive:
+                fiber.interrupt("application stop")
+        self._release_channels()
+
+    def _release_channels(self) -> None:
+        while self._data_channels_held:
+            self.ssd.channels.release_data_channel()
+            self._data_channels_held -= 1
+
+    # ---------------------------------------------------------------- hooks
+    def _host_compute(self, duration_us: float) -> Generator:
+        yield from self.ssd.system.cpu.occupy(duration_us)
+
+    def _interface_to_device(self, nbytes: int) -> Generator:
+        yield from self.ssd.channels.interface_crossing(nbytes, to_host=False)

@@ -1,0 +1,53 @@
+"""Biscuit error hierarchy.
+
+The paper stresses aggressive type checking "at compile and run time"
+(Section III-A) and system safety (Section II-B); these exceptions are the
+runtime half of that story.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "BiscuitError",
+    "TypeMismatchError",
+    "NotSerializableError",
+    "PortConnectionError",
+    "PortClosed",
+    "ModuleError",
+    "MemoryQuotaError",
+    "SafetyViolation",
+]
+
+
+class BiscuitError(Exception):
+    """Base class for all Biscuit framework errors."""
+
+
+class TypeMismatchError(BiscuitError, TypeError):
+    """Port/argument types do not match (no implicit conversion exists)."""
+
+
+class NotSerializableError(BiscuitError, TypeError):
+    """A type crossing a host-device or inter-application boundary has no
+    registered (de)serialization."""
+
+
+class PortConnectionError(BiscuitError):
+    """Illegal port wiring (e.g. MPSC on a host-to-device port)."""
+
+
+class PortClosed(BiscuitError):
+    """Get on a port whose producers have all finished, or put after close."""
+
+
+class ModuleError(BiscuitError):
+    """Module load/unload failure (missing id, busy module, bad image)."""
+
+
+class MemoryQuotaError(BiscuitError, MemoryError):
+    """An allocator arena cannot satisfy a request."""
+
+
+class SafetyViolation(BiscuitError):
+    """User code attempted an operation the runtime forbids (e.g. touching
+    system-allocator memory or a file it was not granted)."""

@@ -1,0 +1,130 @@
+"""Host-side tasks: the other half of the paper's seamless model.
+
+Section I: "Biscuit does not distinguish tasks that run on the host system
+and the storage system."  A :class:`HostTask` is written exactly like an
+SSDlet — declare port types, override ``run()`` as a fiber — but executes
+on host cores.  Wiring is uniform: connect a HostTask port to an SSDlet
+port and the framework builds a host-device connection; connect two
+HostTasks and it builds a cheap host-local queue.
+
+Example::
+
+    class Top5(HostTask):
+        IN_TYPES = (Tuple[str, int],)
+
+        def run(self):
+            best = []
+            while True:
+                try:
+                    pair = yield from self.in_(0).get()
+                except PortClosed:
+                    break
+                best = sorted(best + [pair], key=lambda kv: -kv[1])[:5]
+            self.result = best
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, ClassVar, Generator, Optional, Sequence, Tuple
+
+from repro.core.errors import BiscuitError, TypeMismatchError
+from repro.core.ports import HostInputPort, HostOutputPort
+from repro.core.types import check_value
+
+__all__ = ["HostTask", "HostTaskProxy"]
+
+
+class HostTask:
+    """Base class for host-resident tasks of an Application."""
+
+    IN_TYPES: ClassVar[Sequence[Any]] = ()
+    OUT_TYPES: ClassVar[Sequence[Any]] = ()
+    ARG_TYPES: ClassVar[Optional[Sequence[Any]]] = None
+
+    def __init__(self) -> None:
+        self._system = None
+        self._app = None
+        self._instance_id = ""
+        self._in_ports: Tuple[HostInputPort, ...] = ()
+        self._out_ports: Tuple[HostOutputPort, ...] = ()
+        self._args: Tuple[Any, ...] = ()
+
+    @classmethod
+    def validate_args(cls, args: Tuple[Any, ...]) -> None:
+        if cls.ARG_TYPES is None:
+            return
+        if len(args) != len(cls.ARG_TYPES):
+            raise TypeMismatchError(
+                "%s expects %d args, got %d"
+                % (cls.__name__, len(cls.ARG_TYPES), len(args))
+            )
+        for value, spec in zip(args, cls.ARG_TYPES):
+            check_value(value, spec)
+
+    # ------------------------------------------------------------ subclass API
+    def run(self) -> Generator:
+        """The task body; override as a generator (fiber)."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def in_(self, index: int) -> HostInputPort:
+        return self._in_ports[index]
+
+    def out(self, index: int) -> HostOutputPort:
+        return self._out_ports[index]
+
+    def arg(self, index: int) -> Any:
+        return self._args[index]
+
+    @property
+    def args(self) -> Tuple[Any, ...]:
+        return self._args
+
+    @property
+    def name(self) -> str:
+        return self._instance_id
+
+    def compute(self, duration_us: float, memory_bound: bool = True) -> Generator:
+        """Fiber: spend host-CPU time (subject to memory contention)."""
+        if self._system is None:
+            raise BiscuitError("%s is not attached to an application" % type(self).__name__)
+        yield from self._system.cpu.occupy(duration_us, memory_bound=memory_bound)
+
+    def open(self, path: str):
+        """Open a file over the conventional host path."""
+        if self._system is None:
+            raise BiscuitError("%s is not attached to an application" % type(self).__name__)
+        return self._system.open_host(path)
+
+    def close_outputs(self) -> None:
+        for port in self._out_ports:
+            port.close()
+
+
+class HostTaskProxy:
+    """Registers a HostTask with an Application (mirrors SSDLetProxy)."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, app, task_class, args: Tuple = ()):
+        if not issubclass(task_class, HostTask):
+            raise TypeMismatchError("%s is not a HostTask" % task_class.__name__)
+        self.app = app
+        self.task_class = task_class
+        self.ssdlet_class = task_class  # Endpoint duck-typing
+        self.class_id = task_class.__name__
+        self.args = tuple(args)
+        self.instance: Optional[HostTask] = None
+        self.is_host = True
+        app._register_host_task(self)
+
+    def out(self, index: int):
+        from repro.core.application import Endpoint
+
+        return Endpoint(self, "out", index)
+
+    def in_(self, index: int):
+        from repro.core.application import Endpoint
+
+        return Endpoint(self, "in", index)

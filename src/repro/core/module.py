@@ -1,0 +1,104 @@
+"""SSDlet modules: registration, image files, the module repository.
+
+A module is the unit of deployment (the paper's ``.slet`` file): SSDlet
+classes are compiled and linked with libslet into a module binary, written to
+the SSD's filesystem, and loaded at run time.  Here the "binary" is a small
+header naming the module; the class registry travels through a repository
+keyed by module name (standing in for the symbol tables the real loader
+relocates).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.core.errors import ModuleError
+from repro.fs.filesystem import FileSystem, Inode
+from repro.sim.units import KIB
+
+__all__ = [
+    "SSDletModule",
+    "register_ssdlet",
+    "module_repository",
+    "write_module_image",
+    "read_module_header",
+]
+
+_MAGIC = b"SLET1\n"
+
+#: All "compiled" modules known to this process, keyed by module name.
+_REPOSITORY: Dict[str, "SSDletModule"] = {}
+
+
+def module_repository() -> Dict[str, "SSDletModule"]:
+    return _REPOSITORY
+
+
+class SSDletModule:
+    """A named collection of SSDlet classes plus its binary-size estimate."""
+
+    BASE_BINARY_BYTES = 48 * KIB  # libslet stub + module tables
+    PER_CLASS_BYTES = 24 * KIB
+
+    def __init__(self, name: str, binary_size: Optional[int] = None):
+        if not name or "\n" in name:
+            raise ModuleError("invalid module name: %r" % name)
+        self.name = name
+        self.classes: Dict[str, Type] = {}
+        self._explicit_size = binary_size
+        _REPOSITORY[name] = self
+
+    @property
+    def binary_size(self) -> int:
+        if self._explicit_size is not None:
+            return self._explicit_size
+        return self.BASE_BINARY_BYTES + self.PER_CLASS_BYTES * len(self.classes)
+
+    def register(self, class_id: str, cls: Type) -> Type:
+        """Register an SSDlet class under ``class_id`` (RegisterSSDLet)."""
+        if class_id in self.classes:
+            raise ModuleError(
+                "module %s already registers %r" % (self.name, class_id)
+            )
+        run = getattr(cls, "run", None)
+        if run is None:
+            raise ModuleError("%s does not define run()" % cls.__name__)
+        self.classes[class_id] = cls
+        return cls
+
+    def lookup(self, class_id: str) -> Type:
+        try:
+            return self.classes[class_id]
+        except KeyError:
+            raise ModuleError(
+                "module %s has no SSDlet registered as %r" % (self.name, class_id)
+            ) from None
+
+
+def register_ssdlet(module: SSDletModule, class_id: str):
+    """Decorator form of the paper's ``RegisterSSDLet(id, Class)``."""
+
+    def decorate(cls: Type) -> Type:
+        return module.register(class_id, cls)
+
+    return decorate
+
+
+def write_module_image(fs: FileSystem, path: str, module: SSDletModule) -> Inode:
+    """Write the module's image file to the SSD filesystem (deploy step)."""
+    header = _MAGIC + module.name.encode("utf-8") + b"\n"
+    payload = header + b"\x00" * max(0, module.binary_size - len(header))
+    return fs.install(path, payload)
+
+
+def read_module_header(data: bytes) -> str:
+    """Parse a module image header; returns the module name."""
+    if not data.startswith(_MAGIC):
+        raise ModuleError("not an SSDlet module image")
+    end = data.find(b"\n", len(_MAGIC))
+    if end < 0:
+        raise ModuleError("corrupt module header")
+    name = data[len(_MAGIC):end].decode("utf-8", errors="replace")
+    if name not in _REPOSITORY:
+        raise ModuleError("module %r is not in the repository (not compiled?)" % name)
+    return name

@@ -1,0 +1,88 @@
+"""Multiple user sessions (the extension Section VIII says is in progress).
+
+A :class:`UserSession` is a user's context on one Biscuit SSD:
+
+* **file isolation** — a DeviceFile granted inside a session is visible
+  only to that session's applications; another user's SSDlets opening the
+  path is a :class:`~repro.core.errors.SafetyViolation`.
+* **memory quota** — all user-allocator bytes of the session's SSDlet
+  instances (address-space floors plus malloc) count against the session's
+  quota; exceeding it raises :class:`~repro.core.errors.MemoryQuotaError`
+  instead of starving other users.
+
+Usage::
+
+    alice = ssd.create_session("alice", memory_quota=8 * MIB)
+    app = alice.application("etl")
+    token = alice.file("/data/alice.tbl")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Set
+
+from repro.core.application import Application
+from repro.core.errors import BiscuitError
+from repro.sim.units import MIB
+
+__all__ = ["UserSession", "SessionFile"]
+
+
+class SessionFile:
+    """A file token scoped to one session (the session-aware DeviceFile)."""
+
+    def __init__(self, session: "UserSession", path: str, use_matcher: bool = False):
+        self.path = path
+        self.use_matcher = use_matcher
+        self.session = session.user
+
+
+class UserSession:
+    """One user's context on a Biscuit SSD."""
+
+    def __init__(self, ssd, user: str, memory_quota: int = 64 * MIB):
+        if not user:
+            raise BiscuitError("session needs a user name")
+        if memory_quota <= 0:
+            raise BiscuitError("session quota must be positive")
+        self.ssd = ssd
+        self.user = user
+        self.memory_quota = memory_quota
+        self.memory_used = 0
+        self.grants: Set[str] = set()
+        self.applications = []
+        ssd.runtime.register_session(self)
+
+    # ------------------------------------------------------------------ files
+    def file(self, path: str, use_matcher: bool = False) -> SessionFile:
+        """Grant this session's SSDlets access to ``path``."""
+        self.grants.add(path)
+        return SessionFile(self, path, use_matcher=use_matcher)
+
+    def revoke(self, path: str) -> None:
+        self.grants.discard(path)
+
+    # ----------------------------------------------------------- applications
+    def application(self, name: str = "") -> Application:
+        """Create an Application whose SSDlets run under this session."""
+        app = Application(self.ssd, name)
+        app.device_app.session = self.user
+        self.applications.append(app)
+        return app
+
+    # ----------------------------------------------------------------- quota
+    def charge(self, nbytes: int) -> None:
+        if self.memory_used + nbytes > self.memory_quota:
+            from repro.core.errors import MemoryQuotaError
+            raise MemoryQuotaError(
+                "session %r quota exhausted: %d + %d > %d bytes"
+                % (self.user, self.memory_used, nbytes, self.memory_quota)
+            )
+        self.memory_used += nbytes
+
+    def refund(self, nbytes: int) -> None:
+        self.memory_used = max(0, self.memory_used - nbytes)
+
+    @property
+    def memory_available(self) -> int:
+        return self.memory_quota - self.memory_used

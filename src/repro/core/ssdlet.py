@@ -1,0 +1,144 @@
+"""The device-side SSDLet base class (the paper's libslet ``SSDLet``).
+
+Subclasses declare their port and argument types as class attributes (the
+Python analogue of the paper's template parameters ``IN_TYPE``, ``OUT_TYPE``,
+``ARG_TYPE``) and override :meth:`run` as a fiber::
+
+    class Mapper(SSDLet):
+        OUT_TYPES = (str,)
+        ARG_TYPES = (DeviceFile,)
+
+        def run(self):
+            file = yield from self.open(self.arg(0))
+            data = yield from file.read(0, file.size)
+            for word in data.split():
+                yield from self.out(0).put(word.decode())
+
+The runtime injects ports, arguments and resource hooks at instantiation;
+``run`` executes as a cooperative fiber on the application's assigned core.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Generator, Optional, Sequence, Tuple
+
+from repro.core.errors import BiscuitError, SafetyViolation, TypeMismatchError
+from repro.core.ports import DeviceInputPort, DeviceOutputPort
+from repro.core.types import check_value
+
+__all__ = ["SSDLet"]
+
+
+class SSDLet:
+    """Base class for device-resident tasks."""
+
+    #: Type specs of input ports, one entry per port.
+    IN_TYPES: ClassVar[Sequence[Any]] = ()
+    #: Type specs of output ports, one entry per port.
+    OUT_TYPES: ClassVar[Sequence[Any]] = ()
+    #: Type specs of constructor arguments (None disables checking).
+    ARG_TYPES: ClassVar[Optional[Sequence[Any]]] = None
+
+    def __init__(self) -> None:
+        # Filled in by the runtime (BiscuitRuntime._instantiate); user
+        # subclasses must not override __init__ with required parameters.
+        self._runtime = None
+        self._app = None
+        self._instance_id = ""
+        self._in_ports: Tuple[DeviceInputPort, ...] = ()
+        self._out_ports: Tuple[DeviceOutputPort, ...] = ()
+        self._args: Tuple[Any, ...] = ()
+
+    # ----------------------------------------------------------------- wiring
+    @classmethod
+    def validate_args(cls, args: Tuple[Any, ...]) -> None:
+        if cls.ARG_TYPES is None:
+            return
+        if len(args) != len(cls.ARG_TYPES):
+            raise TypeMismatchError(
+                "%s expects %d args, got %d"
+                % (cls.__name__, len(cls.ARG_TYPES), len(args))
+            )
+        for value, spec in zip(args, cls.ARG_TYPES):
+            check_value(value, spec)
+
+    # ------------------------------------------------------------ subclass API
+    def run(self) -> Generator:
+        """The SSDlet body; override as a generator (fiber)."""
+        raise NotImplementedError
+        yield  # pragma: no cover - marks run() as a generator template
+
+    def in_(self, index: int) -> DeviceInputPort:
+        """Input port ``index`` (paper: ``in(i)``)."""
+        return self._in_ports[index]
+
+    def out(self, index: int) -> DeviceOutputPort:
+        """Output port ``index``."""
+        return self._out_ports[index]
+
+    @property
+    def num_in(self) -> int:
+        return len(self._in_ports)
+
+    @property
+    def num_out(self) -> int:
+        return len(self._out_ports)
+
+    def arg(self, index: int) -> Any:
+        """Initial argument ``index`` passed from the host program."""
+        return self._args[index]
+
+    @property
+    def args(self) -> Tuple[Any, ...]:
+        return self._args
+
+    @property
+    def name(self) -> str:
+        return self._instance_id
+
+    # ------------------------------------------------------------- resources
+    def _require_runtime(self):
+        if self._runtime is None:
+            raise BiscuitError(
+                "%s is not instantiated by the runtime" % type(self).__name__
+            )
+        return self._runtime
+
+    def compute(self, duration_us: float) -> Generator:
+        """Fiber: spend device-CPU time on this application's core."""
+        yield from self._require_runtime().compute(self._app, duration_us)
+
+    def yield_(self) -> Generator:
+        """Explicit cooperative yield (lets other fibers of the core run)."""
+        yield self._require_runtime().sim.timeout(0)
+
+    def open(self, device_file) -> Generator:
+        """Fiber: open a host-granted file for internal I/O.
+
+        Permission is inherited from the host program (Section III-D): the
+        runtime refuses paths the host never granted, raising
+        :class:`SafetyViolation`.
+        """
+        handle = yield from self._require_runtime().open_file(self._app, device_file)
+        return handle
+
+    def malloc(self, size: int) -> int:
+        """Allocate from the *user* allocator; returns an address token.
+
+        Charged against the owning session's quota when the application
+        runs inside a :class:`~repro.core.session.UserSession`.
+        """
+        return self._require_runtime().user_alloc(self._app, size, owner=self._instance_id)
+
+    def mfree(self, address: int) -> None:
+        self._require_runtime().user_free(self._app, address, owner=self._instance_id)
+
+    def system_memory_access(self, address: int) -> None:
+        """Any touch of system-allocator memory is a safety violation."""
+        raise SafetyViolation(
+            "%s attempted to access system memory at %d" % (self._instance_id, address)
+        )
+
+    def close_outputs(self) -> None:
+        for port in self._out_ports:
+            port.close()

@@ -1,0 +1,49 @@
+"""MiniDB: the relational engine standing in for MariaDB/XtraDB (Section V-C).
+
+The paper modifies MariaDB's query planner to (1) find a candidate table
+with offloadable filter predicates, (2) estimate selectivity by sampling,
+(3) accept/reject against a threshold, and (4) offload accepted filters to
+the SSD — additionally placing the NDP-filtered table first in the join
+order.  MiniDB implements that whole pipeline over the simulated platform:
+
+* :mod:`repro.db.catalog` / :mod:`repro.db.storage` — schema, row/page
+  codecs, heap files on the device filesystem, primary/secondary indexes.
+* :mod:`repro.db.expr` — predicate AST, compiled evaluation, and
+  matcher-offloadability analysis.
+* :mod:`repro.db.executor` — the query engine: buffer pool, host scans,
+  hash / index-nested-loop joins, aggregation, Conv vs Biscuit policies.
+* :mod:`repro.db.ndp` — the scan-filter SSDlet and its host-side driver.
+* :mod:`repro.db.planner` — offload heuristic (candidate detection,
+  page-sampled selectivity, threshold, join-order hint).
+* :mod:`repro.db.tpch` — TPC-H schema, dbgen-style generator, all 22
+  queries.
+"""
+
+from repro.db.catalog import Catalog, Column, TableSchema
+from repro.db.executor import Engine, EngineConfig, ExecutionMode
+
+
+def create_engine(system, db, mode):
+    """Factory re-export (see :func:`repro.db.planner.create_engine`)."""
+    from repro.db.planner import create_engine as factory
+
+    return factory(system, db, mode)
+
+
+def run_sql(engine, text, cold=True):
+    """Convenience re-export (see :func:`repro.db.sql.run_sql`)."""
+    from repro.db.sql import run_sql as runner
+
+    return runner(engine, text, cold=cold)
+
+
+__all__ = [
+    "Catalog",
+    "Column",
+    "TableSchema",
+    "Engine",
+    "EngineConfig",
+    "ExecutionMode",
+    "create_engine",
+    "run_sql",
+]

@@ -1,0 +1,99 @@
+"""Schema catalog: columns, tables, indexes."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Column", "TableSchema", "Catalog", "date_to_int", "int_to_date", "d"]
+
+#: Supported column types.
+COLUMN_TYPES = ("int", "float", "str", "date")
+
+_EPOCH = datetime.date(1970, 1, 1)
+
+
+def date_to_int(text: str) -> int:
+    """'YYYY-MM-DD' → days since 1970-01-01 (the stored representation)."""
+    year, month, day = (int(part) for part in text.split("-"))
+    return (datetime.date(year, month, day) - _EPOCH).days
+
+
+def int_to_date(days: int) -> str:
+    return (_EPOCH + datetime.timedelta(days=days)).isoformat()
+
+
+def d(text: str) -> int:
+    """Shorthand date literal used throughout the TPC-H query definitions."""
+    return date_to_int(text)
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    ctype: str  # one of COLUMN_TYPES
+
+    def __post_init__(self):
+        if self.ctype not in COLUMN_TYPES:
+            raise ValueError("unknown column type %r" % (self.ctype,))
+
+
+@dataclass
+class TableSchema:
+    """One table: ordered columns, primary key, secondary index columns."""
+
+    name: str
+    columns: List[Column]
+    primary_key: Tuple[str, ...] = ()
+    indexes: Tuple[str, ...] = ()  # single-column secondary indexes
+
+    def __post_init__(self):
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate column in %s" % self.name)
+        self._positions = {name: i for i, name in enumerate(names)}
+        for key in tuple(self.primary_key) + tuple(self.indexes):
+            if key not in self._positions:
+                raise ValueError("%s: key column %r not in schema" % (self.name, key))
+
+    def position(self, column: str) -> int:
+        try:
+            return self._positions[column]
+        except KeyError:
+            raise KeyError("%s has no column %r" % (self.name, column)) from None
+
+    def column_names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def column_type(self, column: str) -> str:
+        return self.columns[self.position(column)].ctype
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+
+class Catalog:
+    """All tables known to one database instance."""
+
+    def __init__(self):
+        self._tables: Dict[str, TableSchema] = {}
+
+    def add(self, schema: TableSchema) -> TableSchema:
+        if schema.name in self._tables:
+            raise ValueError("table %s already exists" % schema.name)
+        self._tables[schema.name] = schema
+        return schema
+
+    def get(self, name: str) -> TableSchema:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyError("no table named %r" % name) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def names(self) -> List[str]:
+        return sorted(self._tables)

@@ -1,0 +1,724 @@
+"""The MiniDB execution engine.
+
+Cost model (host side, calibrated against the paper's Conv measurements —
+495 s for the Fig. 8 Query 1 full scan of SF-100 lineitem ≈ 0.8 µs/row):
+
+* sequential scans: readahead I/O overlapped with per-row host CPU,
+* index-nested-loop probes: per-key data-page fetches through an LRU buffer
+  pool (this is where MariaDB's smallest-table-first join order pays its
+  I/O amplification),
+* hash joins / aggregation / sort: host CPU per row.
+
+Engine modes:
+
+* ``CONV`` — everything above, all data crossing the host interface.
+* ``BISCUIT`` — scans go through the NDP planner: offloadable, selective
+  filters run as ScanFilter SSDlets on the device (matcher prefilter at
+  wire speed + software refinement of matched pages), and the NDP-filtered
+  table is placed first in the join order (Section V-C).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple, Union
+
+from repro.db.catalog import TableSchema
+from repro.db.expr import Expr, compile_expr, columns_of
+from repro.db.storage import Database, TableStorage, decode_rows
+from repro.host.platform import System
+from repro.sim.engine import all_of
+
+__all__ = ["Engine", "EngineConfig", "ExecutionMode", "Rel", "TableRef"]
+
+
+class ExecutionMode(enum.Enum):
+    CONV = "conv"
+    BISCUIT = "biscuit"
+
+
+@dataclass
+class EngineConfig:
+    """Engine tunables (see module docstring for calibration)."""
+
+    host_row_us: float = 0.8  # filter/project one row on the host
+    host_join_row_us: float = 0.35  # hash-probe / build one row
+    host_agg_row_us: float = 0.3  # aggregate one row
+    probe_overhead_us: float = 2.0  # index lookup bookkeeping per probe
+    buffer_pool_fraction: float = 0.02  # of total DB pages
+    min_pool_pages: int = 64
+    scan_chunk_pages: int = 256  # readahead unit for host scans
+    # NDP offload heuristic (planner):
+    ndp_selectivity_threshold: float = 0.25  # max page-fraction to offload
+    ndp_min_table_pages: int = 64  # absolute "table too small" cutoff
+    ndp_min_table_fraction: float = 0.05  # of total DB pages (small-table cutoff)
+    ndp_sample_pages: int = 48  # pages sampled for the selectivity estimate
+    ndp_batch_rows: int = 512  # rows per D2H result packet
+    ndp_parallel_ssdlets: int = 4
+    # INL-vs-scan switch: the optimizer keeps index nested loops until the
+    # estimated probe-page count exceeds this multiple of a full table scan.
+    # MariaDB-era optimizers notoriously underestimate random-I/O cost, so
+    # the factor is large — which is precisely what produces the paper's
+    # Q14-style pathology (Section V-C, "block nested loop" discussion).
+    inl_scan_factor: float = 30.0
+    # Ablation knobs (DESIGN.md, "design choices worth ablating"):
+    ndp_join_order: bool = True  # place the NDP-filtered table first
+    ndp_use_matcher: bool = True  # False = device software scan (Section VI)
+    # Extension (beyond the paper): push GROUP BY/aggregates into the
+    # ScanAggregate SSDlet so only aggregate states cross the interface.
+    ndp_pushdown_aggregate: bool = True
+
+
+class Rel:
+    """A materialized intermediate relation: column names + row tuples."""
+
+    __slots__ = ("columns", "rows", "_positions")
+
+    def __init__(self, columns: Sequence[str], rows: List[tuple]):
+        self.columns = list(columns)
+        self.rows = rows
+        self._positions = {name: i for i, name in enumerate(self.columns)}
+
+    @property
+    def positions(self) -> Dict[str, int]:
+        return self._positions
+
+    def position(self, column: str) -> int:
+        return self._positions[column]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        return "Rel(%s, %d rows)" % (",".join(self.columns), len(self.rows))
+
+
+@dataclass
+class TableRef:
+    """A lazy reference to a base table with an optional filter/projection."""
+
+    name: str
+    pred: Optional[Expr] = None
+    cols: Optional[List[str]] = None
+
+
+class _BufferPool:
+    """LRU page cache of decoded rows, keyed by (table, page_no)."""
+
+    def __init__(self, capacity_pages: int):
+        self.capacity = max(1, capacity_pages)
+        self._entries: "OrderedDict[Tuple[str, int], List[tuple]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Tuple[str, int]) -> Optional[List[tuple]]:
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+        else:
+            self.misses += 1
+        return entry
+
+    def put(self, key: Tuple[str, int], rows: List[tuple]) -> None:
+        self._entries[key] = rows
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+class Engine:
+    """One query engine bound to a database and a platform."""
+
+    def __init__(
+        self,
+        system: System,
+        db: Database,
+        mode: ExecutionMode = ExecutionMode.CONV,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.system = system
+        self.db = db
+        self.mode = mode
+        self.config = config or EngineConfig()
+        total_pages = sum(t.num_pages for t in db.tables.values())
+        self.pool = _BufferPool(
+            max(self.config.min_pool_pages,
+                int(total_pages * self.config.buffer_pool_fraction))
+        )
+        # Whole-table decoded-page cache: value-level only (saves wall-clock
+        # re-decoding; simulated timing is charged regardless).
+        self._decoded: Dict[str, List[List[tuple]]] = {}
+        # Per-query statistics (reset with begin_query()).
+        self.host_pages_read = 0
+        self.ndp_result_bytes = 0
+        self.ndp_scans = 0
+        self.ndp_rejections: List[str] = []
+        # Lazily-initialized NDP machinery (set by repro.db.ndp on first use).
+        self.ndp_context = None
+        self.planner = None  # set by repro.db.planner.attach_planner
+
+    # -------------------------------------------------------------- lifecycle
+    def begin_query(self, cold: bool = True) -> None:
+        """Reset per-query statistics (and optionally the buffer pool)."""
+        self.host_pages_read = 0
+        self.ndp_result_bytes = 0
+        self.ndp_scans = 0
+        self.ndp_rejections = []
+        if self.planner is not None:
+            self.planner.reset()
+        if cold:
+            self.pool.clear()
+
+    @property
+    def biscuit_pages_equivalent(self) -> float:
+        """Biscuit-side 'pages read by the DB engine': host reads plus the
+        NDP result stream expressed in pages (Fig. 10's I/O ratio basis)."""
+        return self.host_pages_read + self.ndp_result_bytes / self.db.fs.page_size
+
+    # ------------------------------------------------------------- page access
+    def table_page_rows(self, table: str, page_no: int) -> List[tuple]:
+        """Decoded rows of a page (value level, no timing)."""
+        pages = self._decoded.get(table)
+        if pages is None:
+            storage = self.db.table(table)
+            pages = [None] * storage.num_pages  # type: ignore[list-item]
+            self._decoded[table] = pages
+        rows = pages[page_no]
+        if rows is None:
+            storage = self.db.table(table)
+            rows = self.db.read_page_rows(storage, page_no)
+            pages[page_no] = rows
+        return rows
+
+    def _charge(self, duration_us: float) -> Generator:
+        yield from self.system.cpu.occupy(duration_us)
+
+    # ------------------------------------------------------------------ scan
+    def t(self, name: str, pred: Optional[Expr] = None,
+          cols: Optional[List[str]] = None) -> TableRef:
+        """Build a lazy table reference (relation algebra input)."""
+        return TableRef(name, pred, cols)
+
+    def fetch(self, ref: Union[TableRef, Rel]) -> Generator:
+        """Fiber: materialize a reference (scan, offloading when eligible)."""
+        if isinstance(ref, Rel):
+            return ref
+        decision = None
+        if self.mode is ExecutionMode.BISCUIT and ref.pred is not None:
+            decision = yield from self.planner.decide(ref)
+        if decision is not None and decision.offload:
+            rel = yield from self.ndp_context.ndp_scan(self, ref, decision)
+            return rel
+        rel = yield from self._host_scan(ref)
+        return rel
+
+    def _host_scan(self, ref: TableRef) -> Generator:
+        """Fiber: full host-side scan with readahead, filter, project."""
+        storage = self.db.table(ref.name)
+        schema = storage.schema
+        positions = {name: i for i, name in enumerate(schema.column_names())}
+        pred_fn = compile_expr(ref.pred, positions) if ref.pred is not None else None
+        out_cols = ref.cols or schema.column_names()
+        out_idx = [positions[c] for c in out_cols]
+        handle = self.system.open_host(storage.path)
+        page_size = storage.page_size
+        chunk_pages = self.config.scan_chunk_pages
+        num_pages = storage.num_pages
+        rows_out: List[tuple] = []
+        pending = None
+        offset_pages = 0
+        while offset_pages < num_pages:
+            take = min(chunk_pages, num_pages - offset_pages)
+            length = min(take * page_size, storage.inode.size - offset_pages * page_size)
+            if pending is None:
+                pending = handle.aread_timing_only(offset_pages * page_size, length)
+            yield pending
+            self.host_pages_read += take
+            next_offset = offset_pages + take
+            if next_offset < num_pages:
+                ntake = min(chunk_pages, num_pages - next_offset)
+                nlength = min(ntake * page_size, storage.inode.size - next_offset * page_size)
+                pending = handle.aread_timing_only(next_offset * page_size, nlength)
+            else:
+                pending = None
+            # CPU: decode + filter + project every row of the chunk.
+            chunk_rows = 0
+            for page_no in range(offset_pages, offset_pages + take):
+                page_rows = self.table_page_rows(ref.name, page_no)
+                chunk_rows += len(page_rows)
+                for row in page_rows:
+                    if pred_fn is None or pred_fn(row):
+                        rows_out.append(tuple(row[i] for i in out_idx))
+            yield from self._charge(chunk_rows * self.config.host_row_us)
+            offset_pages = next_offset
+        return Rel(out_cols, rows_out)
+
+    # ------------------------------------------------------------------ joins
+    def join(
+        self,
+        left: Union[TableRef, Rel],
+        right: Union[TableRef, Rel],
+        left_key: str,
+        right_key: str,
+        cols: Optional[List[str]] = None,
+    ) -> Generator:
+        """Fiber: equi-join with the mode's join-order policy.
+
+        Conv: when both sides are base tables, the *smaller table* drives
+        (MariaDB's policy); the other side is index-probed when indexed.
+        Biscuit: an NDP-offloaded side always drives (the paper's planner
+        heuristic), collapsing the probe volume.
+        """
+        left_is_table = isinstance(left, TableRef)
+        right_is_table = isinstance(right, TableRef)
+        if left_is_table and right_is_table:
+            drive_left = yield from self._pick_driver(left, right)
+            if not drive_left:
+                left, right = right, left
+                left_key, right_key = right_key, left_key
+            driving = yield from self.fetch(left)
+            rel = yield from self._join_rel_table(driving, right, left_key, right_key, cols)
+            return rel
+        if left_is_table:
+            left, right = right, left
+            left_key, right_key = right_key, left_key
+            right_is_table = True
+        if right_is_table:
+            driving = yield from self.fetch(left)
+            rel = yield from self._join_rel_table(driving, right, left_key, right_key, cols)
+            return rel
+        rel = yield from self._hash_join(left, right, left_key, right_key, cols)
+        return rel
+
+    def _pick_driver(self, left: TableRef, right: TableRef) -> Generator:
+        """Fiber: True to drive with ``left``."""
+        left_pages = self.db.table(left.name).num_pages
+        right_pages = self.db.table(right.name).num_pages
+        if self.mode is ExecutionMode.BISCUIT and self.config.ndp_join_order:
+            left_offload = False
+            right_offload = False
+            if left.pred is not None:
+                decision = yield from self.planner.peek(left)
+                left_offload = decision.offload
+            if right.pred is not None:
+                decision = yield from self.planner.peek(right)
+                right_offload = decision.offload
+            if left_offload != right_offload:
+                return left_offload
+        return left_pages <= right_pages
+
+    def _join_rel_table(
+        self,
+        driving: Rel,
+        inner_ref: TableRef,
+        driving_key: str,
+        inner_key: str,
+        cols: Optional[List[str]],
+    ) -> Generator:
+        """Fiber: join a materialized relation against a base table."""
+        inner = self.db.table(inner_ref.name)
+        if inner.has_index(inner_key):
+            est_probe_pages = len(driving) * inner.index_pages_per_key(inner_key)
+            if est_probe_pages <= inner.num_pages * self.config.inl_scan_factor:
+                rel = yield from self._index_join(
+                    driving, inner_ref, driving_key, inner_key, cols
+                )
+                return rel
+        inner_rel = yield from self.fetch(inner_ref)
+        rel = yield from self._hash_join(driving, inner_rel, driving_key, inner_key, cols)
+        return rel
+
+    def _index_join(
+        self,
+        driving: Rel,
+        inner_ref: TableRef,
+        driving_key: str,
+        inner_key: str,
+        cols: Optional[List[str]],
+    ) -> Generator:
+        """Fiber: index-nested-loop join; inner data pages fetched per key
+        through the buffer pool (host preads on miss)."""
+        inner = self.db.table(inner_ref.name)
+        schema = inner.schema
+        inner_positions = {name: i for i, name in enumerate(schema.column_names())}
+        inner_pred_fn = (
+            compile_expr(inner_ref.pred, inner_positions)
+            if inner_ref.pred is not None else None
+        )
+        key_pos = inner_positions[inner_key]
+        driving_key_pos = driving.position(driving_key)
+        inner_cols = inner_ref.cols or schema.column_names()
+        inner_idx = [inner_positions[c] for c in inner_cols]
+        out_columns, merge = self._merge_plan(driving.columns, inner_cols, cols)
+        handle = self.system.open_host(inner.path)
+        page_size = inner.page_size
+        out_rows: List[tuple] = []
+        probes = 0
+        probed_cpu_rows = 0
+        for row in driving.rows:
+            key = row[driving_key_pos]
+            pages = inner.index_pages(inner_key, key)
+            probes += 1
+            for page_no in pages:
+                pool_key = (inner_ref.name, page_no)
+                cached = self.pool.get(pool_key)
+                if cached is None:
+                    # Buffer-pool miss: a real random read.  Probes hitting
+                    # evicted pages pay again — the I/O amplification that
+                    # early filtering (NDP-first join order) avoids.
+                    length = min(page_size, inner.inode.size - page_no * page_size)
+                    yield from handle.read_timing_only(page_no * page_size, length)
+                    self.host_pages_read += 1
+                    cached = self.table_page_rows(inner_ref.name, page_no)
+                    self.pool.put(pool_key, cached)
+                for inner_row in cached:
+                    if inner_row[key_pos] != key:
+                        continue
+                    probed_cpu_rows += 1
+                    if inner_pred_fn is not None and not inner_pred_fn(inner_row):
+                        continue
+                    out_rows.append(merge(row, tuple(inner_row[i] for i in inner_idx)))
+            if probes % 1024 == 0:
+                yield from self._charge(
+                    1024 * self.config.probe_overhead_us
+                    + probed_cpu_rows * self.config.host_join_row_us
+                )
+                probed_cpu_rows = 0
+        yield from self._charge(
+            (probes % 1024) * self.config.probe_overhead_us
+            + probed_cpu_rows * self.config.host_join_row_us
+        )
+        return Rel(out_columns, out_rows)
+
+    def _hash_join(
+        self,
+        left: Rel,
+        right: Rel,
+        left_key: str,
+        right_key: str,
+        cols: Optional[List[str]],
+    ) -> Generator:
+        """Fiber: in-memory hash join (build on the smaller side)."""
+        if len(right) < len(left):
+            # Build on right, probe with left (output order: left ++ right).
+            build, probe = right, left
+            build_key, probe_key = right_key, left_key
+            probe_is_left = True
+        else:
+            build, probe = left, right
+            build_key, probe_key = left_key, right_key
+            probe_is_left = False
+        build_pos = build.position(build_key)
+        probe_pos = probe.position(probe_key)
+        table: Dict[Any, List[tuple]] = {}
+        for row in build.rows:
+            table.setdefault(row[build_pos], []).append(row)
+        out_columns, merge = self._merge_plan(left.columns, right.columns, cols)
+        out_rows: List[tuple] = []
+        matched = 0
+        for row in probe.rows:
+            for other in table.get(row[probe_pos], ()):
+                matched += 1
+                if probe_is_left:
+                    out_rows.append(merge(row, other))
+                else:
+                    out_rows.append(merge(other, row))
+        yield from self._charge(
+            (len(build) + len(probe) + matched) * self.config.host_join_row_us
+        )
+        return Rel(out_columns, out_rows)
+
+    def _merge_plan(
+        self,
+        left_cols: Sequence[str],
+        right_cols: Sequence[str],
+        want: Optional[List[str]],
+    ) -> Tuple[List[str], Callable[[tuple, tuple], tuple]]:
+        """Column layout + row-merge function for join outputs.
+
+        Duplicate column names keep the left side's copy (TPC-H column names
+        are globally unique, so this only matters for self-joins, which
+        rename first).
+        """
+        merged: List[str] = list(left_cols)
+        right_keep = [c for c in right_cols if c not in merged]
+        merged.extend(right_keep)
+        if want is None:
+            right_take = [right_cols.index(c) for c in right_keep]
+
+            def merge_all(lrow: tuple, rrow: tuple) -> tuple:
+                return lrow + tuple(rrow[i] for i in right_take)
+
+            return merged, merge_all
+        left_map = {c: i for i, c in enumerate(left_cols)}
+        right_map = {c: i for i, c in enumerate(right_cols)}
+        plan: List[Tuple[bool, int]] = []
+        for column in want:
+            if column in left_map:
+                plan.append((True, left_map[column]))
+            elif column in right_map:
+                plan.append((False, right_map[column]))
+            else:
+                raise KeyError("join output column %r not available" % column)
+
+        def merge_some(lrow: tuple, rrow: tuple) -> tuple:
+            return tuple(lrow[i] if from_left else rrow[i] for from_left, i in plan)
+
+        return list(want), merge_some
+
+    # -------------------------------------------------------------- multi-join
+    def multi_join(
+        self,
+        refs: List[Union[TableRef, Rel]],
+        conditions: List[Tuple[str, str]],
+        cols: Optional[List[str]] = None,
+    ) -> Generator:
+        """Fiber: left-deep join of several relations.
+
+        ``conditions`` are equi-join column pairs.  Join order is the crux of
+        the Conv/Biscuit difference (Section V-C):
+
+        * Conv — MariaDB's policy: smallest base table first, then the
+          smallest *connected* relation, probing inner tables by index.
+        * Biscuit — the NDP-offloaded (filtered) table first, so later joins
+          only touch the rows that survived device-side filtering.
+
+        Conditions not usable as the current join key are applied as filters
+        as soon as both columns are present.
+        """
+        if len(refs) < 2:
+            raise ValueError("multi_join needs at least two relations")
+        order = yield from self._join_order(refs)
+        pending = list(conditions)
+        current = yield from self.fetch(order[0])
+        remaining = list(order[1:])
+        while remaining:
+            pick = None
+            for candidate in remaining:
+                key = self._find_key(current, candidate, pending)
+                if key is not None:
+                    pick = (candidate, key)
+                    break
+            if pick is None:
+                # No connecting condition yet: cartesian with the smallest
+                # remaining relation (TPC-H never needs this, but stay total).
+                candidate = remaining[0]
+                fetched = yield from self.fetch(candidate)
+                current = yield from self._cartesian(current, fetched)
+                remaining.remove(candidate)
+            else:
+                candidate, (cur_col, other_col, condition) = pick
+                pending.remove(condition)
+                if isinstance(candidate, TableRef):
+                    current = yield from self._join_rel_table(
+                        current, candidate, cur_col, other_col, None
+                    )
+                else:
+                    current = yield from self._hash_join(
+                        current, candidate, cur_col, other_col, None
+                    )
+                remaining.remove(candidate)
+            # Apply any condition whose two columns are now both present.
+            current, pending = yield from self._apply_ready(current, pending)
+        if pending:
+            raise ValueError("unsatisfiable join conditions: %r" % pending)
+        if cols is not None:
+            idx = [current.position(c) for c in cols]
+            yield from self._charge(len(current) * 0.05)
+            current = Rel(cols, [tuple(row[i] for i in idx) for row in current.rows])
+        return current
+
+    def _join_order(self, refs: List[Union[TableRef, Rel]]) -> Generator:
+        """Fiber: order relations per the mode's policy."""
+        sized: List[Tuple[int, int, Union[TableRef, Rel]]] = []
+        for position, ref in enumerate(refs):
+            if isinstance(ref, Rel):
+                rows = len(ref)
+                offload = False
+            else:
+                rows = self.db.table(ref.name).num_rows
+                offload = False
+                if (self.mode is ExecutionMode.BISCUIT
+                        and self.config.ndp_join_order and ref.pred is not None):
+                    decision = yield from self.planner.peek(ref)
+                    offload = decision.offload
+            sized.append((0 if offload else 1, rows, position))
+        sized.sort()
+        return [refs[position] for _, _, position in sized]
+
+    def _find_key(self, current: Rel, candidate, pending):
+        names = (
+            set(candidate.cols or self.db.table(candidate.name).schema.column_names())
+            if isinstance(candidate, TableRef) else set(candidate.columns)
+        )
+        have = set(current.columns)
+        for condition in pending:
+            a, b = condition
+            if a in have and b in names:
+                return a, b, condition
+            if b in have and a in names:
+                return b, a, condition
+        return None
+
+    def _apply_ready(self, current: Rel, pending: List[Tuple[str, str]]) -> Generator:
+        still: List[Tuple[str, str]] = []
+        for a, b in pending:
+            if a in current.positions and b in current.positions:
+                pa, pb = current.position(a), current.position(b)
+                yield from self._charge(len(current) * self.config.host_row_us * 0.25)
+                current = Rel(
+                    current.columns,
+                    [row for row in current.rows if row[pa] == row[pb]],
+                )
+            else:
+                still.append((a, b))
+        return current, still
+
+    def _cartesian(self, left: Rel, right: Rel) -> Generator:
+        out_columns, merge = self._merge_plan(left.columns, right.columns, None)
+        yield from self._charge(
+            len(left) * len(right) * self.config.host_join_row_us
+        )
+        rows = [merge(l, r) for l in left.rows for r in right.rows]
+        return Rel(out_columns, rows)
+
+    # -------------------------------------------------------------- operators
+    def rename(self, rel: Rel, mapping: Dict[str, str]) -> Rel:
+        """Relabel columns (free): used for self-joins (n1/n2 in Q7)."""
+        return Rel([mapping.get(c, c) for c in rel.columns], rel.rows)
+
+    def charge_rows(self, count: int, per_row_us: Optional[float] = None) -> Generator:
+        """Fiber: charge host CPU for query-program-side row processing."""
+        yield from self._charge(count * (per_row_us or self.config.host_row_us))
+
+    def filter(self, rel: Rel, pred: Expr) -> Generator:
+        """Fiber: host-side filter of a materialized relation."""
+        fn = compile_expr(pred, rel.positions)
+        yield from self._charge(len(rel) * self.config.host_row_us)
+        return Rel(rel.columns, [row for row in rel.rows if fn(row)])
+
+    def project(self, rel: Rel, exprs: List[Tuple[str, Expr]]) -> Generator:
+        """Fiber: compute named expressions per row."""
+        fns = [(name, compile_expr(expr, rel.positions)) for name, expr in exprs]
+        yield from self._charge(len(rel) * self.config.host_row_us)
+        return Rel(
+            [name for name, _ in fns],
+            [tuple(fn(row) for _, fn in fns) for row in rel.rows],
+        )
+
+    def aggregate(
+        self,
+        rel: Rel,
+        group_by: List[str],
+        aggs: List[Tuple[str, str, Optional[Expr]]],
+    ) -> Generator:
+        """Fiber: grouped aggregation.
+
+        ``aggs`` entries are (output name, kind, expr) with kind one of
+        sum/count/avg/min/max/count_distinct (expr unused for count).
+        """
+        group_idx = [rel.position(c) for c in group_by]
+        agg_fns = []
+        for name, kind, expr in aggs:
+            fn = compile_expr(expr, rel.positions) if expr is not None else None
+            agg_fns.append((name, kind, fn))
+        groups: Dict[tuple, list] = {}
+        for row in rel.rows:
+            key = tuple(row[i] for i in group_idx)
+            state = groups.get(key)
+            if state is None:
+                state = []
+                for _, kind, _fn in agg_fns:
+                    if kind == "count":
+                        state.append(0)
+                    elif kind == "avg":
+                        state.append([0.0, 0])
+                    elif kind == "count_distinct":
+                        state.append(set())
+                    elif kind in ("min", "max"):
+                        state.append(None)
+                    else:
+                        state.append(0.0)
+                groups[key] = state
+            for slot, (_, kind, fn) in enumerate(agg_fns):
+                if kind == "count":
+                    state[slot] += 1
+                    continue
+                value = fn(row)
+                if kind == "sum":
+                    state[slot] += value
+                elif kind == "avg":
+                    state[slot][0] += value
+                    state[slot][1] += 1
+                elif kind == "min":
+                    state[slot] = value if state[slot] is None else min(state[slot], value)
+                elif kind == "max":
+                    state[slot] = value if state[slot] is None else max(state[slot], value)
+                elif kind == "count_distinct":
+                    state[slot].add(value)
+        yield from self._charge(len(rel) * self.config.host_agg_row_us)
+        out_rows = []
+        for key, state in groups.items():
+            values = []
+            for slot, (_, kind, _fn) in enumerate(agg_fns):
+                if kind == "avg":
+                    total, count = state[slot]
+                    values.append(total / count if count else 0.0)
+                elif kind == "count_distinct":
+                    values.append(len(state[slot]))
+                else:
+                    values.append(state[slot])
+            out_rows.append(key + tuple(values))
+        return Rel(group_by + [name for name, _, _ in agg_fns], out_rows)
+
+    def sort(self, rel: Rel, keys: List[Tuple[str, bool]], limit: Optional[int] = None) -> Generator:
+        """Fiber: order by (column, descending?) pairs, optional limit."""
+        rows = list(rel.rows)
+        for column, descending in reversed(keys):
+            position = rel.position(column)
+            rows.sort(key=lambda row: row[position], reverse=descending)
+        yield from self._charge(len(rows) * self.config.host_agg_row_us)
+        if limit is not None:
+            rows = rows[:limit]
+        return Rel(rel.columns, rows)
+
+    def semi_join(self, rel: Rel, key: str, keys_rel: Rel, keys_col: str,
+                  anti: bool = False) -> Generator:
+        """Fiber: EXISTS / NOT EXISTS against a key set."""
+        key_set = {row[keys_rel.position(keys_col)] for row in keys_rel.rows}
+        position = rel.position(key)
+        yield from self._charge(
+            (len(rel) + len(keys_rel)) * self.config.host_join_row_us
+        )
+        if anti:
+            rows = [row for row in rel.rows if row[position] not in key_set]
+        else:
+            rows = [row for row in rel.rows if row[position] in key_set]
+        return Rel(rel.columns, rows)
+
+    def distinct(self, rel: Rel, cols: Optional[List[str]] = None) -> Generator:
+        """Fiber: distinct rows (optionally on a column subset)."""
+        yield from self._charge(len(rel) * self.config.host_agg_row_us)
+        if cols is None:
+            seen = set()
+            rows = []
+            for row in rel.rows:
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+            return Rel(rel.columns, rows)
+        idx = [rel.position(c) for c in cols]
+        seen = set()
+        rows = []
+        for row in rel.rows:
+            key = tuple(row[i] for i in idx)
+            if key not in seen:
+                seen.add(key)
+                rows.append(key)
+        return Rel(cols, rows)

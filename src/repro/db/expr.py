@@ -1,0 +1,486 @@
+"""Predicate/expression AST, compilation, and matcher-offload analysis.
+
+Expressions compile to plain Python closures over row tuples (positions
+resolved once), which keeps the value-level executor fast enough to run
+TPC-H at test scale.
+
+Offload analysis mirrors Section V-C: the planner needs to know whether a
+table filter is "amenable for offloading" given the hardware pattern
+matcher's limits — at most 3 keys of ≤16 bytes, no negated patterns.  A
+range conjunct counts as one key-slot in our model (DESIGN.md records this
+as a modeling liberty: the IP is treated as a page-granular prefilter for
+the offloaded conjunct, which matches the paper's page-fraction definition
+of selectivity).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Expr", "Col", "Const", "Cmp", "Logic", "Not", "Between", "InList",
+    "Like", "Arith", "Case", "Func",
+    "col", "lit", "eq", "ne", "lt", "le", "gt", "ge", "and_", "or_", "not_",
+    "between", "in_", "like", "not_like", "add", "sub", "mul", "div", "case",
+    "year_of", "substring",
+    "compile_expr", "columns_of", "MatcherFilter", "matcher_filter",
+    "matcher_candidates",
+]
+
+RowFn = Callable[[Tuple[Any, ...]], Any]
+
+
+class Expr:
+    """Base expression node."""
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return and_(self, other)
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return or_(self, other)
+
+
+@dataclass(frozen=True)
+class Col(Expr):
+    name: str
+
+
+@dataclass(frozen=True)
+class Const(Expr):
+    value: Any
+
+
+@dataclass(frozen=True)
+class Cmp(Expr):
+    op: str  # == != < <= > >=
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Logic(Expr):
+    op: str  # and / or
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Between(Expr):
+    column: Expr
+    low: Expr
+    high: Expr  # inclusive low, exclusive high (TPC-H range idiom)
+
+
+@dataclass(frozen=True)
+class InList(Expr):
+    column: Expr
+    values: Tuple[Any, ...]
+
+
+@dataclass(frozen=True)
+class Like(Expr):
+    column: Expr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    op: str  # + - * /
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Case(Expr):
+    whens: Tuple[Tuple[Expr, Expr], ...]
+    default: Expr
+
+
+@dataclass(frozen=True)
+class Func(Expr):
+    """Scalar function call: 'year' (of a stored date int) or 'substring'."""
+
+    fname: str
+    args: Tuple[Expr, ...]
+
+
+# ----------------------------------------------------------------- builders
+def col(name: str) -> Col:
+    return Col(name)
+
+
+def lit(value: Any) -> Const:
+    return Const(value)
+
+
+def _wrap(value: Any) -> Expr:
+    return value if isinstance(value, Expr) else Const(value)
+
+
+def eq(a, b) -> Cmp:
+    return Cmp("==", _wrap(a), _wrap(b))
+
+
+def ne(a, b) -> Cmp:
+    return Cmp("!=", _wrap(a), _wrap(b))
+
+
+def lt(a, b) -> Cmp:
+    return Cmp("<", _wrap(a), _wrap(b))
+
+
+def le(a, b) -> Cmp:
+    return Cmp("<=", _wrap(a), _wrap(b))
+
+
+def gt(a, b) -> Cmp:
+    return Cmp(">", _wrap(a), _wrap(b))
+
+
+def ge(a, b) -> Cmp:
+    return Cmp(">=", _wrap(a), _wrap(b))
+
+
+def and_(*args) -> Expr:
+    flat: List[Expr] = []
+    for arg in args:
+        arg = _wrap(arg)
+        if isinstance(arg, Logic) and arg.op == "and":
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    return flat[0] if len(flat) == 1 else Logic("and", tuple(flat))
+
+
+def or_(*args) -> Expr:
+    flat: List[Expr] = []
+    for arg in args:
+        arg = _wrap(arg)
+        if isinstance(arg, Logic) and arg.op == "or":
+            flat.extend(arg.args)
+        else:
+            flat.append(arg)
+    return flat[0] if len(flat) == 1 else Logic("or", tuple(flat))
+
+
+def not_(arg) -> Not:
+    return Not(_wrap(arg))
+
+
+def between(column, low, high) -> Between:
+    """low <= column < high."""
+    return Between(_wrap(column), _wrap(low), _wrap(high))
+
+
+def in_(column, values: Sequence[Any]) -> InList:
+    return InList(_wrap(column), tuple(values))
+
+
+def like(column, pattern: str) -> Like:
+    return Like(_wrap(column), pattern)
+
+
+def not_like(column, pattern: str) -> Like:
+    return Like(_wrap(column), pattern, negated=True)
+
+
+def add(a, b) -> Arith:
+    return Arith("+", _wrap(a), _wrap(b))
+
+
+def sub(a, b) -> Arith:
+    return Arith("-", _wrap(a), _wrap(b))
+
+
+def mul(a, b) -> Arith:
+    return Arith("*", _wrap(a), _wrap(b))
+
+
+def div(a, b) -> Arith:
+    return Arith("/", _wrap(a), _wrap(b))
+
+
+def case(whens: Sequence[Tuple[Expr, Any]], default: Any = 0) -> Case:
+    return Case(
+        tuple((cond, _wrap(value)) for cond, value in whens), _wrap(default)
+    )
+
+
+def year_of(arg) -> Func:
+    """EXTRACT(YEAR FROM date-column)."""
+    return Func("year", (_wrap(arg),))
+
+
+def substring(arg, start: int, length: int) -> Func:
+    """SUBSTRING(str, start, length) — 1-based start, as in SQL."""
+    return Func("substring", (_wrap(arg), Const(start), Const(length)))
+
+
+# -------------------------------------------------------------- compilation
+def _like_regex(pattern: str) -> "re.Pattern":
+    out = "^"
+    for char in pattern:
+        if char == "%":
+            out += ".*"
+        elif char == "_":
+            out += "."
+        else:
+            out += re.escape(char)
+    return re.compile(out + "$", re.DOTALL)
+
+
+_CMP_FNS = {
+    "==": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+_ARITH_FNS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+}
+
+
+def compile_expr(expr: Expr, positions: Dict[str, int]) -> RowFn:
+    """Compile an expression into ``fn(row_tuple) -> value``."""
+    if isinstance(expr, Col):
+        try:
+            index = positions[expr.name]
+        except KeyError:
+            raise KeyError(
+                "column %r not in relation %s" % (expr.name, sorted(positions))
+            ) from None
+        return lambda row: row[index]
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda row: value
+    if isinstance(expr, Cmp):
+        fn = _CMP_FNS[expr.op]
+        left = compile_expr(expr.left, positions)
+        right = compile_expr(expr.right, positions)
+        return lambda row: fn(left(row), right(row))
+    if isinstance(expr, Logic):
+        parts = [compile_expr(arg, positions) for arg in expr.args]
+        if expr.op == "and":
+            return lambda row: all(part(row) for part in parts)
+        return lambda row: any(part(row) for part in parts)
+    if isinstance(expr, Not):
+        inner = compile_expr(expr.arg, positions)
+        return lambda row: not inner(row)
+    if isinstance(expr, Between):
+        column = compile_expr(expr.column, positions)
+        low = compile_expr(expr.low, positions)
+        high = compile_expr(expr.high, positions)
+        return lambda row: low(row) <= column(row) < high(row)
+    if isinstance(expr, InList):
+        column = compile_expr(expr.column, positions)
+        values = frozenset(expr.values)
+        return lambda row: column(row) in values
+    if isinstance(expr, Like):
+        column = compile_expr(expr.column, positions)
+        regex = _like_regex(expr.pattern)
+        if expr.negated:
+            return lambda row: regex.match(column(row)) is None
+        return lambda row: regex.match(column(row)) is not None
+    if isinstance(expr, Arith):
+        fn = _ARITH_FNS[expr.op]
+        left = compile_expr(expr.left, positions)
+        right = compile_expr(expr.right, positions)
+        return lambda row: fn(left(row), right(row))
+    if isinstance(expr, Case):
+        whens = [
+            (compile_expr(cond, positions), compile_expr(value, positions))
+            for cond, value in expr.whens
+        ]
+        default = compile_expr(expr.default, positions)
+
+        def run_case(row):
+            for cond, value in whens:
+                if cond(row):
+                    return value(row)
+            return default(row)
+
+        return run_case
+    if isinstance(expr, Func):
+        args = [compile_expr(arg, positions) for arg in expr.args]
+        if expr.fname == "year":
+            import datetime
+            epoch = datetime.date(1970, 1, 1)
+            day = datetime.timedelta(days=1)
+            arg0 = args[0]
+            return lambda row: (epoch + day * arg0(row)).year
+        if expr.fname == "substring":
+            arg0, start, length = args
+            return lambda row: arg0(row)[start(row) - 1:start(row) - 1 + length(row)]
+        raise TypeError("unknown function %r" % expr.fname)
+    raise TypeError("cannot compile %r" % (expr,))
+
+
+def columns_of(expr: Expr) -> List[str]:
+    """All column names referenced by an expression."""
+    out: List[str] = []
+
+    def walk(node: Expr) -> None:
+        if isinstance(node, Col):
+            if node.name not in out:
+                out.append(node.name)
+        elif isinstance(node, Cmp) or isinstance(node, Arith):
+            walk(node.left)
+            walk(node.right)
+        elif isinstance(node, Logic):
+            for arg in node.args:
+                walk(arg)
+        elif isinstance(node, Not):
+            walk(node.arg)
+        elif isinstance(node, Between):
+            walk(node.column)
+            walk(node.low)
+            walk(node.high)
+        elif isinstance(node, (InList, Like)):
+            walk(node.column)
+        elif isinstance(node, Case):
+            for cond, value in node.whens:
+                walk(cond)
+                walk(value)
+            walk(node.default)
+        elif isinstance(node, Func):
+            for arg in node.args:
+                walk(arg)
+
+    walk(expr)
+    return out
+
+
+# ------------------------------------------------------ matcher offloadability
+@dataclass
+class MatcherFilter:
+    """The conjunct the pattern-matcher IP prefilters pages with."""
+
+    conjunct: Expr
+    key_count: int  # HW key slots consumed (≤ matcher_max_keys)
+    description: str
+
+
+def _conjuncts(expr: Expr) -> List[Expr]:
+    if isinstance(expr, Logic) and expr.op == "and":
+        return list(expr.args)
+    return [expr]
+
+
+def _usable(conjunct: Expr) -> Optional[Tuple[int, int, str]]:
+    """(priority, key_count, description) if HW-usable, else None.
+
+    Lower priority = preferred (more selective key shapes first).
+    """
+    if isinstance(conjunct, Cmp) and conjunct.op == "==":
+        if isinstance(conjunct.left, Col) and isinstance(conjunct.right, Const):
+            return (0, 1, "eq(%s)" % conjunct.left.name)
+    if isinstance(conjunct, InList) and isinstance(conjunct.column, Col):
+        if len(conjunct.values) <= 3:
+            return (1, len(conjunct.values), "in(%s)" % conjunct.column.name)
+        return None  # more literals than HW key slots
+    if isinstance(conjunct, Logic) and conjunct.op == "or":
+        # OR of equalities on one column == an IN list.
+        columns = set()
+        count = 0
+        for arg in conjunct.args:
+            if (
+                isinstance(arg, Cmp) and arg.op == "=="
+                and isinstance(arg.left, Col) and isinstance(arg.right, Const)
+            ):
+                columns.add(arg.left.name)
+                count += 1
+            else:
+                return None
+        if len(columns) == 1 and count <= 3:
+            return (1, count, "or-eq(%s)" % columns.pop())
+        return None
+    if isinstance(conjunct, Like) and isinstance(conjunct.column, Col):
+        if conjunct.negated:
+            return None  # HW limitation called out in the paper (NOT LIKE)
+        prefix = conjunct.pattern.split("%")[0].split("_")[0]
+        if len(prefix) >= 3:
+            return (2, 1, "like(%s)" % conjunct.column.name)
+        # Leading wildcard with a long inner literal still works as a key.
+        literals = [part for part in re.split(r"[%_]", conjunct.pattern) if part]
+        if literals and max(len(part) for part in literals) >= 3:
+            return (2, 1, "like-sub(%s)" % conjunct.column.name)
+        return None
+    if isinstance(conjunct, Between) and isinstance(conjunct.column, Col):
+        return (3, 1, "range(%s)" % conjunct.column.name)
+    if isinstance(conjunct, Cmp) and conjunct.op in ("<", "<=", ">", ">="):
+        if isinstance(conjunct.left, Col) and isinstance(conjunct.right, Const):
+            return (4, 1, "half-range(%s)" % conjunct.left.name)
+    return None
+
+
+def matcher_candidates(predicate: Optional[Expr], max_keys: int = 3) -> List[MatcherFilter]:
+    """All HW-usable conjuncts, best-priority first.
+
+    The planner samples each candidate's page selectivity and configures the
+    IP with the most selective one.
+    """
+    if predicate is None:
+        return []
+    out: List[Tuple[int, MatcherFilter]] = []
+    conjuncts = _conjuncts(predicate)
+    for conjunct in conjuncts:
+        usable = _usable(conjunct)
+        if usable is None:
+            continue
+        priority, keys, description = usable
+        if keys > max_keys:
+            continue
+        out.append((priority, MatcherFilter(conjunct, keys, description)))
+    # Pairs of half-ranges on one column (how SQL BETWEEN arrives) form a
+    # tight range — far more selective than either half alone.
+    lows: dict = {}
+    highs: dict = {}
+    for conjunct in conjuncts:
+        if (isinstance(conjunct, Cmp) and isinstance(conjunct.left, Col)
+                and isinstance(conjunct.right, Const)):
+            if conjunct.op in (">", ">="):
+                lows[conjunct.left.name] = conjunct
+            elif conjunct.op in ("<", "<="):
+                highs[conjunct.left.name] = conjunct
+    for column in set(lows) & set(highs):
+        synthetic = and_(lows[column], highs[column])
+        out.append((3, MatcherFilter(synthetic, 1, "range(%s)" % column)))
+    out.sort(key=lambda pair: pair[0])
+    return [mf for _, mf in out]
+
+
+def matcher_filter(predicate: Optional[Expr], max_keys: int = 3) -> Optional[MatcherFilter]:
+    """Pick the conjunct the matcher IP will prefilter pages with.
+
+    Returns None when no conjunct fits the hardware (no literal key, NOT
+    LIKE, too many IN values...) — exactly the queries Fig. 10 leaves at
+    1.0× because "the query planner gives up NDP".
+    """
+    if predicate is None:
+        return None
+    best: Optional[Tuple[int, int, str, Expr]] = None
+    for conjunct in _conjuncts(predicate):
+        usable = _usable(conjunct)
+        if usable is None:
+            continue
+        priority, keys, description = usable
+        if keys > max_keys:
+            continue
+        if best is None or priority < best[0]:
+            best = (priority, keys, description, conjunct)
+    if best is None:
+        return None
+    return MatcherFilter(conjunct=best[3], key_count=best[1], description=best[2])

@@ -1,0 +1,144 @@
+"""The NDP offload heuristic (Section V-C).
+
+The paper's modified MariaDB planner: (1) identify a candidate table whose
+filter predicates are amenable for offloading, (2) estimate selectivity with
+a quick page-sampling check, (3) compare against a threshold, (4) offload.
+Selectivity is the *fraction of pages* that satisfy the filter (0 = best).
+
+Rejection reasons mirror Fig. 10's narrative: no matcher-amenable predicate
+(e.g. NOT LIKE), target table too small, or sampled selectivity too low
+(too many pages would survive).
+"""
+
+from __future__ import annotations
+
+import random
+import zlib
+from dataclasses import dataclass
+from typing import Dict, Generator, Optional, Tuple
+
+from repro.db.executor import Engine, ExecutionMode, TableRef
+from repro.db.expr import MatcherFilter, compile_expr, matcher_candidates
+
+__all__ = ["ScanDecision", "NDPPlanner", "create_engine"]
+
+
+@dataclass
+class ScanDecision:
+    offload: bool
+    reason: str
+    est_selectivity: float
+    mfilter: Optional[MatcherFilter]
+
+
+class NDPPlanner:
+    """Per-engine offload decision maker with a per-query decision cache."""
+
+    def __init__(self, engine: Engine):
+        self.engine = engine
+        self._cache: Dict[Tuple[str, str], ScanDecision] = {}
+        self.sampled_pages = 0
+
+    def reset(self) -> None:
+        """Drop cached decisions (new query = new sampling pass)."""
+        self._cache.clear()
+
+    def peek(self, ref: TableRef) -> Generator:
+        """Fiber: the decision for a table reference (cached per query)."""
+        key = (ref.name, repr(ref.pred))
+        decision = self._cache.get(key)
+        if decision is None:
+            decision = yield from self._evaluate(ref)
+            self._cache[key] = decision
+        return decision
+
+    # ``decide`` is the fetch-time entry; identical to peek but kept separate
+    # so instrumentation can distinguish "considered" from "executed".
+    decide = peek
+
+    def _evaluate(self, ref: TableRef) -> Generator:
+        engine = self.engine
+        config = engine.config
+        storage = engine.db.table(ref.name)
+        if ref.pred is None:
+            return ScanDecision(False, "no filter predicate", 1.0, None)
+        candidates = matcher_candidates(
+            ref.pred, max_keys=engine.system.config.matcher_max_keys
+        )
+        if not candidates:
+            return ScanDecision(
+                False, "predicate not matcher-amenable (HW limitation)", 1.0, None
+            )
+        total_pages = sum(t.num_pages for t in engine.db.tables.values())
+        if (storage.num_pages < config.ndp_min_table_pages
+                or storage.num_pages < total_pages * config.ndp_min_table_fraction):
+            return ScanDecision(False, "target table too small", 1.0, candidates[0])
+        selectivity, mfilter = yield from self._sample_selectivity(ref, candidates)
+        if selectivity > config.ndp_selectivity_threshold:
+            engine.ndp_rejections.append(
+                "%s: sampled selectivity %.2f above threshold" % (ref.name, selectivity)
+            )
+            return ScanDecision(
+                False, "sampled selectivity %.2f too low to pay off" % selectivity,
+                selectivity, mfilter,
+            )
+        return ScanDecision(
+            True, "offload (selectivity %.3f, %s)" % (selectivity, mfilter.description),
+            selectivity, mfilter,
+        )
+
+    def _sample_selectivity(self, ref: TableRef, candidates) -> Generator:
+        """Fiber: read a random page sample (timed — the 'quick check').
+
+        Returns (page fraction satisfying the full filter, the candidate
+        conjunct with the lowest page hit rate — what the IP gets keyed
+        with).
+        """
+        engine = self.engine
+        storage = engine.db.table(ref.name)
+        schema = storage.schema
+        positions = {name: i for i, name in enumerate(schema.column_names())}
+        pred_fn = compile_expr(ref.pred, positions)
+        candidate_fns = [
+            (mf, compile_expr(mf.conjunct, positions)) for mf in candidates
+        ]
+        candidate_hits = [0] * len(candidate_fns)
+        sample_size = min(engine.config.ndp_sample_pages, storage.num_pages)
+        seed = zlib.crc32(("%s|%r" % (ref.name, ref.pred)).encode("utf-8"))
+        rng = random.Random(seed)
+        pages = rng.sample(range(storage.num_pages), sample_size)
+        handle = engine.system.open_host(storage.path)
+        page_size = storage.page_size
+        # Fire the sample reads as one async burst (the quick check should
+        # not serialize 48 round trips).
+        events = []
+        for page_no in pages:
+            length = min(page_size, storage.inode.size - page_no * page_size)
+            events.append(handle.aread_timing_only(page_no * page_size, length))
+            engine.host_pages_read += 1
+            self.sampled_pages += 1
+        for event in events:
+            yield event
+        matched = 0
+        for page_no in pages:
+            rows = engine.table_page_rows(ref.name, page_no)
+            if any(pred_fn(row) for row in rows):
+                matched += 1
+            for slot, (_mf, fn) in enumerate(candidate_fns):
+                if any(fn(row) for row in rows):
+                    candidate_hits[slot] += 1
+        yield from engine._charge(len(pages) * 40.0)  # evaluate sampled pages
+        best_slot = min(range(len(candidate_fns)), key=lambda i: candidate_hits[i])
+        selectivity = matched / sample_size if sample_size else 1.0
+        return selectivity, candidate_fns[best_slot][0]
+
+
+def create_engine(system, db, mode: ExecutionMode) -> Engine:
+    """Factory: an Engine with planner and NDP machinery attached."""
+    from repro.db.ndp import NDPContext  # deferred: ndp imports executor
+
+    engine = Engine(system, db, mode)
+    engine.planner = NDPPlanner(engine)
+    if mode is ExecutionMode.BISCUIT:
+        engine.ndp_context = NDPContext(system)
+    return engine

@@ -1,0 +1,14 @@
+"""Extent-based filesystem over the SSD's logical pages.
+
+Biscuit "prohibits SSDlets from directly using low-level, logical block
+addresses and forces the SSD to operate under a file system" (Section III-D).
+This package is that filesystem: a flat namespace of files, each a list of
+logical-page extents, with exact-content files (real bytes in the device
+store) and synthetic files (paper-scale datasets whose page content is a
+deterministic function of the page index — see DESIGN.md, "analytic mode").
+"""
+
+from repro.fs.filesystem import FileSystem, FsError, Inode
+from repro.fs.file import FileHandle
+
+__all__ = ["FileSystem", "FileHandle", "Inode", "FsError"]

@@ -1,0 +1,14 @@
+"""Host platform model: CPUs with memory contention, I/O paths, system wiring.
+
+The paper's testbed is a Dell R720 (2× Xeon E5-2640, 24 hardware threads,
+64 GiB DRAM) running Ubuntu.  The experiments stress it with StreamBench
+background threads; host-side work (grep, driver code, query processing)
+slows under that memory contention while device-side work does not — that
+asymmetry produces Tables IV and V.
+"""
+
+from repro.host.cpu import HostCPU
+from repro.host.io import HostIO
+from repro.host.platform import System
+
+__all__ = ["HostCPU", "HostIO", "System"]

@@ -1,0 +1,14 @@
+"""Instrumentation: span tracing and resource-utilization timelines.
+
+Simulation answers "how long"; these tools answer "why".  A
+:class:`SpanTracer` records named begin/end spans on simulated time and
+renders a text Gantt chart; a :class:`UtilizationMonitor` samples any set
+of :class:`~repro.sim.resources.Resource` objects on a fixed grid and
+renders utilization sparklines — the quickest way to see whether a run was
+bound by the channels, the device cores, the PCIe link or the host.
+"""
+
+from repro.instrument.trace import Span, SpanTracer
+from repro.instrument.utilization import UtilizationMonitor
+
+__all__ = ["SpanTracer", "Span", "UtilizationMonitor"]

@@ -1,0 +1,99 @@
+"""Named spans over simulated time, with a text Gantt renderer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, List, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["Span", "SpanTracer"]
+
+
+@dataclass
+class Span:
+    track: str
+    name: str
+    start_ns: int
+    end_ns: Optional[int] = None
+
+    @property
+    def duration_ns(self) -> int:
+        if self.end_ns is None:
+            raise ValueError("span %r is still open" % self.name)
+        return self.end_ns - self.start_ns
+
+
+class SpanTracer:
+    """Collects begin/end spans keyed by track (one row per track)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.spans: List[Span] = []
+        self._open: Dict[tuple, Span] = {}
+
+    # ---------------------------------------------------------------- record
+    def begin(self, track: str, name: str) -> Span:
+        span = Span(track, name, self.sim.now)
+        key = (track, name)
+        if key in self._open:
+            raise ValueError("span %s/%s already open" % key)
+        self._open[key] = span
+        self.spans.append(span)
+        return span
+
+    def end(self, track: str, name: str) -> Span:
+        span = self._open.pop((track, name), None)
+        if span is None:
+            raise ValueError("no open span %s/%s" % (track, name))
+        span.end_ns = self.sim.now
+        return span
+
+    def span(self, track: str, name: str, fiber) -> Generator:
+        """Fiber wrapper: trace the fiber's full extent as one span."""
+        self.begin(track, name)
+        try:
+            value = yield from fiber
+        finally:
+            self.end(track, name)
+        return value
+
+    # ----------------------------------------------------------------- query
+    def closed_spans(self, track: Optional[str] = None) -> List[Span]:
+        return [
+            span for span in self.spans
+            if span.end_ns is not None and (track is None or span.track == track)
+        ]
+
+    def total_ns(self, track: str, name: Optional[str] = None) -> int:
+        return sum(
+            span.duration_ns for span in self.closed_spans(track)
+            if name is None or span.name == name
+        )
+
+    # ---------------------------------------------------------------- render
+    def gantt(self, width: int = 64) -> str:
+        """Text Gantt chart: one row per track, '#' where any span is live."""
+        spans = self.closed_spans()
+        if not spans:
+            return "(no spans)"
+        t0 = min(span.start_ns for span in spans)
+        t1 = max(span.end_ns for span in spans)
+        extent = max(1, t1 - t0)
+        tracks = sorted({span.track for span in spans})
+        label_width = max(len(track) for track in tracks)
+        lines = []
+        for track in tracks:
+            cells = [" "] * width
+            for span in spans:
+                if span.track != track:
+                    continue
+                begin = int((span.start_ns - t0) / extent * (width - 1))
+                end = int((span.end_ns - t0) / extent * (width - 1))
+                for cell in range(begin, end + 1):
+                    cells[cell] = "#"
+            lines.append("%s |%s|" % (track.rjust(label_width), "".join(cells)))
+        lines.append("%s  0%s%.3f ms" % (
+            " " * label_width, " " * (width - 8), extent / 1e6
+        ))
+        return "\n".join(lines)

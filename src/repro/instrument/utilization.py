@@ -1,0 +1,124 @@
+"""Windowed utilization of named resources, with sparkline rendering."""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.sim.engine import Interrupt, Process, Simulator
+from repro.sim.resources import Resource
+from repro.sim.units import s_to_ns
+
+__all__ = ["UtilizationMonitor"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+class UtilizationMonitor:
+    """Samples resources every ``interval_s`` of simulated time.
+
+    Use :meth:`for_system` to watch the interesting resources of a
+    :class:`~repro.host.platform.System` (host cores, device cores, channel
+    buses, PCIe link) without naming them by hand.
+    """
+
+    def __init__(self, sim: Simulator, interval_s: float = 0.01):
+        self.sim = sim
+        self.interval_ns = s_to_ns(interval_s)
+        self._groups: Dict[str, List[Resource]] = {}
+        self._last: Dict[str, int] = {}
+        self.series: Dict[str, List[Tuple[float, float]]] = {}
+        self._fiber: Optional[Process] = None
+
+    @classmethod
+    def for_system(cls, system, interval_s: float = 0.01) -> "UtilizationMonitor":
+        monitor = cls(system.sim, interval_s)
+        monitor.watch("host-cores", [system.cpu.cores])
+        for index, device in enumerate(system.devices):
+            suffix = "" if len(system.devices) == 1 else "-%d" % index
+            monitor.watch("ssd-channels%s" % suffix,
+                          [ch.bus for ch in device.nand.channels])
+            monitor.watch("device-cores%s" % suffix, [device.cores])
+            monitor.watch("pcie%s" % suffix, [device.interface.link])
+        return monitor
+
+    # ----------------------------------------------------------------- setup
+    def watch(self, name: str, resources: List[Resource]) -> None:
+        if self._fiber is not None:
+            raise RuntimeError("cannot add groups while running")
+        self._groups[name] = list(resources)
+        self.series[name] = []
+
+    def start(self) -> None:
+        if self._fiber is not None:
+            return
+        for name in self._groups:
+            self._last[name] = self._busy(name)
+        self._fiber = self.sim.process(self._sampler(), name="util-monitor")
+        self._fiber.defused = True
+
+    def stop(self) -> None:
+        if self._fiber is None:
+            return
+        if self._fiber.is_alive:
+            self._fiber.interrupt("monitor stop")
+        self._fiber = None
+
+    # -------------------------------------------------------------- sampling
+    def _busy(self, name: str) -> int:
+        return sum(resource.busy_area() for resource in self._groups[name])
+
+    def _capacity(self, name: str) -> int:
+        return sum(resource.capacity for resource in self._groups[name])
+
+    def _sampler(self) -> Generator:
+        try:
+            while True:
+                yield self.sim.timeout(self.interval_ns)
+                for name in self._groups:
+                    busy = self._busy(name)
+                    delta = busy - self._last[name]
+                    self._last[name] = busy
+                    utilization = delta / (self.interval_ns * self._capacity(name))
+                    self.series[name].append((self.sim.now / 1e9, utilization))
+        except Interrupt:
+            return
+
+    # ----------------------------------------------------------------- query
+    def mean(self, name: str, t0_s: float = 0.0, t1_s: Optional[float] = None) -> float:
+        points = [
+            value for when, value in self.series[name]
+            if when >= t0_s and (t1_s is None or when <= t1_s)
+        ]
+        return sum(points) / len(points) if points else 0.0
+
+    def peak(self, name: str) -> float:
+        return max((value for _, value in self.series[name]), default=0.0)
+
+    # ---------------------------------------------------------------- render
+    def sparkline(self, name: str, width: int = 60) -> str:
+        points = [value for _, value in self.series[name]]
+        if not points:
+            return "(no samples)"
+        if len(points) > width:
+            # Downsample by averaging buckets.
+            bucket = len(points) / width
+            points = [
+                sum(points[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))])
+                / max(1, len(points[int(i * bucket):max(int(i * bucket) + 1, int((i + 1) * bucket))]))
+                for i in range(width)
+            ]
+        cells = "".join(
+            _BLOCKS[min(len(_BLOCKS) - 1, int(value * (len(_BLOCKS) - 1) + 0.5))]
+            for value in points
+        )
+        return cells
+
+    def report(self, width: int = 60) -> str:
+        lines = []
+        label_width = max((len(name) for name in self._groups), default=0)
+        for name in self._groups:
+            lines.append("%s |%s| mean %4.0f%% peak %4.0f%%" % (
+                name.rjust(label_width), self.sparkline(name, width),
+                self.mean(name) * 100, self.peak(name) * 100,
+            ))
+        return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Networked storage organizations (Fig. 1(c) and 1(d)).
+
+A client host talks to storage nodes over network links; each node is a
+full :class:`~repro.host.platform.System` (server CPUs + Biscuit-capable
+SSDs) sharing the cluster's simulator.  Section VIII: "there is little
+reason why Biscuit can't be extended to support task offloading between
+networked servers in various system organizations" — this package is that
+extension.
+"""
+
+from repro.net.cluster import NetworkLink, ScaleOutCluster, StorageNode
+
+__all__ = ["NetworkLink", "StorageNode", "ScaleOutCluster"]

@@ -1,0 +1,156 @@
+"""Network links, storage nodes and the scale-out cluster.
+
+The model is deliberately simple and standard: a link has a propagation
+latency and a serialization bandwidth (one message at a time per
+direction-agnostic link — a 10 GbE point-to-point port by default).
+Storage nodes run their own server CPUs and SSDs; remote procedure calls
+pay link latency both ways plus payload serialization.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.host.cpu import HostCPU
+from repro.host.platform import System
+from repro.sim.engine import Simulator, all_of
+from repro.sim.resources import Resource
+from repro.sim.units import transfer_ns, us_to_ns
+from repro.ssd.config import SSDConfig
+
+__all__ = ["NetworkLink", "StorageNode", "ScaleOutCluster"]
+
+
+class NetworkLink:
+    """A point-to-point network port (default: 10 GbE)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        bytes_per_sec: float = 1.25e9,
+        latency_us: float = 50.0,
+        name: str = "link",
+    ):
+        if bytes_per_sec <= 0:
+            raise ValueError("link rate must be positive")
+        if latency_us < 0:
+            raise ValueError("latency cannot be negative")
+        self.sim = sim
+        self.bytes_per_sec = bytes_per_sec
+        self.latency_us = latency_us
+        self.name = name
+        self.port = Resource(sim, capacity=1, name=name)
+        self.bytes_moved = 0
+        self.messages = 0
+
+    def send(self, num_bytes: int) -> Generator:
+        """Fiber: move one message across the link.
+
+        Serialization holds the port; propagation latency overlaps with the
+        next message (store-and-forward pipe).
+        """
+        yield self.port.request()
+        try:
+            yield self.sim.timeout(transfer_ns(max(1, num_bytes), self.bytes_per_sec))
+        finally:
+            self.port.release()
+        yield self.sim.timeout(us_to_ns(self.latency_us))
+        self.bytes_moved += num_bytes
+        self.messages += 1
+
+    def utilization(self) -> float:
+        return self.port.utilization()
+
+
+class StorageNode:
+    """One storage server: CPUs + SSDs + a link back to the client host."""
+
+    #: Per-RPC request handling cost on a node core (network stack + dispatch).
+    RPC_HANDLE_US = 30.0
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        link: NetworkLink,
+        ssds_per_node: int = 2,
+        node_cores: int = 8,
+        ssd_config: Optional[SSDConfig] = None,
+    ):
+        self.name = name
+        self.link = link
+        self.system = System(
+            ssd_config=ssd_config, host_cores=node_cores,
+            num_ssds=ssds_per_node, sim=sim,
+        )
+        self.rpcs_served = 0
+
+    def serve(self, work: Generator, request_bytes: int, response_bytes: int) -> Generator:
+        """Fiber: one RPC as seen from the client.
+
+        Request crosses the link, the node handles and runs ``work`` (a
+        fiber using the node's own System), and the response crosses back.
+        Returns the work's value.
+        """
+        yield from self.link.send(request_bytes)
+        yield from self.system.cpu.occupy(self.RPC_HANDLE_US, memory_bound=False)
+        value = yield from work
+        yield from self.system.cpu.occupy(self.RPC_HANDLE_US / 2, memory_bound=False)
+        yield from self.link.send(response_bytes)
+        self.rpcs_served += 1
+        return value
+
+
+class ScaleOutCluster:
+    """A client host plus N storage nodes (Fig. 1(d)).
+
+    The client's own CPU model handles whatever processing is not pushed
+    down; each node hangs off its own link, so aggregate network bandwidth
+    scales with the node count (as in a non-blocking ToR switch).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int = 4,
+        ssds_per_node: int = 2,
+        link_bytes_per_sec: float = 1.25e9,
+        link_latency_us: float = 50.0,
+        client_cores: int = 24,
+        node_cores: int = 8,
+        ssd_config: Optional[SSDConfig] = None,
+    ):
+        if num_nodes < 1:
+            raise ValueError("need at least one storage node")
+        self.sim = Simulator()
+        self.client_cpu = HostCPU(self.sim, cores=client_cores)
+        self.nodes: List[StorageNode] = []
+        for index in range(num_nodes):
+            link = NetworkLink(
+                self.sim, link_bytes_per_sec, link_latency_us,
+                name="eth-node%d" % index,
+            )
+            self.nodes.append(StorageNode(
+                self.sim, "node%d" % index, link,
+                ssds_per_node=ssds_per_node, node_cores=node_cores,
+                ssd_config=ssd_config,
+            ))
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def run_fiber(self, generator, name: str = "") -> Any:
+        return self.sim.run(self.sim.process(generator, name=name))
+
+    def fan_out(self, make_work: Callable[[StorageNode], Generator],
+                request_bytes: int = 256, response_bytes: int = 256) -> Generator:
+        """Fiber: RPC every node concurrently; returns the list of values."""
+        fibers = [
+            self.sim.process(
+                node.serve(make_work(node), request_bytes, response_bytes),
+                name="rpc-%s" % node.name,
+            )
+            for node in self.nodes
+        ]
+        values = yield all_of(self.sim, fibers)
+        return values

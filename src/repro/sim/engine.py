@@ -1,0 +1,402 @@
+"""Event loop, events and fiber processes.
+
+The kernel keeps a binary heap of ``(time, sequence, event)`` entries.  An
+:class:`Event` triggers at most once, either successfully (carrying a value)
+or with failure (carrying an exception).  A :class:`Process` wraps a Python
+generator: each ``yield`` hands the kernel an event to wait for, and the
+kernel resumes the generator with the event's value (or throws the event's
+exception into it).
+
+This is deliberately close to Biscuit's fiber model: a fiber runs until it
+explicitly yields (a timeout, an I/O completion, a queue slot), and there is
+no preemption, so fibers on the same scheduling domain may share state without
+locks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "Interrupt",
+    "SimulationError",
+    "any_of",
+    "all_of",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events start *pending*; calling :meth:`succeed` or :meth:`fail` schedules
+    them to *trigger* (run callbacks) at the current simulation time.
+    """
+
+    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_scheduled", "_processed", "defused")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = None
+        self._exception: Optional[BaseException] = None
+        self._scheduled = False
+        self._processed = False
+        self.defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled to run its callbacks."""
+        return self._scheduled
+
+    @property
+    def processed(self) -> bool:
+        """True once the event's callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (valid only after triggering)."""
+        return self._scheduled and self._exception is None
+
+    @property
+    def value(self) -> Any:
+        if not self._scheduled:
+            raise SimulationError("value of a pending event")
+        if self._exception is not None:
+            raise self._exception
+        return self._value
+
+    @property
+    def exception(self) -> Optional[BaseException]:
+        return self._exception
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Mark the event successful with ``value``; callbacks run now."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        self._value = value
+        self._scheduled = True
+        self.sim._schedule(self, 0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Mark the event failed with ``exception``; callbacks run now."""
+        if self._scheduled:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._exception = exception
+        self._scheduled = True
+        self.sim._schedule(self, 0)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event triggers.
+
+        If the event has already been processed the callback runs
+        immediately.
+        """
+        if self._callbacks is None:
+            callback(self)
+        else:
+            self._callbacks.append(callback)
+
+    def _run_callbacks(self) -> None:
+        callbacks, self._callbacks = self._callbacks, None
+        self._processed = True
+        for callback in callbacks or ():
+            callback(self)
+        if self._exception is not None and not self.defused and not callbacks:
+            raise SimulationError(
+                "unhandled failure of %r" % self
+            ) from self._exception
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "triggered" if self._scheduled else "pending"
+        return "<%s %s at t=%d>" % (type(self).__name__, state, self.sim.now)
+
+
+class Timeout(Event):
+    """An event that triggers automatically ``delay`` ns after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+        if delay < 0:
+            raise ValueError("negative timeout delay: %r" % (delay,))
+        super().__init__(sim)
+        self._value = value
+        self._scheduled = True
+        self.defused = True  # a timeout cannot fail; nothing to defuse
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A fiber: a generator driven by the events it yields.
+
+    The process object is itself an event that triggers when the generator
+    returns (success, value = return value) or raises (failure).
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "_pending_interrupt", "name")
+
+    def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError("Process requires a generator, got %r" % (generator,))
+        super().__init__(sim)
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self._pending_interrupt: Optional[Interrupt] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        # Kick off at the current time.
+        bootstrap = Event(sim)
+        bootstrap.defused = True
+        bootstrap.add_callback(self._resume)
+        bootstrap.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        return not self._scheduled
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its next wait point.
+
+        A process that has not yet run (or is between resumes) is cancelled:
+        the interrupt is delivered at its next scheduled resume.
+        """
+        if self._scheduled:
+            raise SimulationError("cannot interrupt a finished process")
+        target = self._waiting_on
+        if target is None:
+            self._pending_interrupt = Interrupt(cause)
+            return
+        self._waiting_on = None
+        interrupt_event = Event(self.sim)
+        interrupt_event.defused = True
+        interrupt_event._exception = Interrupt(cause)
+        interrupt_event._scheduled = True
+        interrupt_event._callbacks = [self._resume]
+        self.sim._schedule(interrupt_event, 0)
+
+    def _resume(self, event: Event) -> None:
+        if self._scheduled:
+            return  # process already finished (e.g. raced with interrupt)
+        if self._waiting_on is not None and event is not self._waiting_on:
+            return  # stale wakeup from an event we abandoned via interrupt
+        self._waiting_on = None
+        try:
+            if self._pending_interrupt is not None:
+                # Deferred cancellation (interrupt before the first resume).
+                exc, self._pending_interrupt = self._pending_interrupt, None
+                event.defused = True
+                self.defused = True  # a cancelled fiber's failure is expected
+                target = self._generator.throw(exc)
+            elif event._exception is not None:
+                event.defused = True
+                target = self._generator.throw(event._exception)
+            else:
+                target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self._value = stop.value
+            self._scheduled = True
+            self.sim._schedule(self, 0)
+            return
+        except BaseException as exc:
+            self._exception = exc
+            self._scheduled = True
+            self.sim._schedule(self, 0)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                "process %s yielded %r; fibers must yield Event objects"
+                % (self.name, target)
+            )
+            self._exception = error
+            self._scheduled = True
+            self.sim._schedule(self, 0)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class AllOf(Event):
+    """Triggers when every child event has succeeded (fails fast on failure)."""
+
+    __slots__ = ("_events", "_pending")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        self._pending = 0
+        failed: Optional[Event] = None
+        for event in self._events:
+            if event.processed:
+                if event._exception is not None and failed is None:
+                    failed = event
+            else:
+                self._pending += 1
+        if failed is not None:
+            failed.defused = True
+            self.fail(failed._exception)
+            return
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+            return
+        for event in self._events:
+            if not event.processed:
+                event.add_callback(self._child_done)
+
+    def _child_done(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(Event):
+    """Triggers when the first child event triggers (success or failure)."""
+
+    __slots__ = ("_events",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("cannot mix events from different simulators")
+        for event in self._events:
+            if event.processed:
+                self._finish(event)
+                return
+        for event in self._events:
+            event.add_callback(self._child_done)
+
+    def _finish(self, event: Event) -> None:
+        if event._exception is not None:
+            event.defused = True
+            self.fail(event._exception)
+        else:
+            self.succeed(event._value)
+
+    def _child_done(self, event: Event) -> None:
+        if self._scheduled:
+            return
+        self._finish(event)
+
+
+def any_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """Event that triggers when any of ``events`` triggers."""
+    return AnyOf(sim, events)
+
+
+def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
+    """Event that triggers when all of ``events`` have succeeded."""
+    return AllOf(sim, events)
+
+
+class Simulator:
+    """The event loop: an integer-nanosecond clock over a binary heap."""
+
+    def __init__(self):
+        self._now = 0
+        self._heap: List[Any] = []
+        self._sequence = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def now_s(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now / 1_000_000_000
+
+    @property
+    def now_us(self) -> float:
+        """Current simulation time in microseconds."""
+        return self._now / 1_000
+
+    def _schedule(self, event: Event, delay: int) -> None:
+        self._sequence += 1
+        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+
+    def event(self) -> Event:
+        """Create a pending event to be succeeded/failed manually."""
+        return Event(self)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Event that triggers ``delay`` nanoseconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        """Start a fiber running ``generator``; returns its completion event."""
+        return Process(self, generator, name=name)
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, __, event = heapq.heappop(self._heap)
+        self._now = when
+        event._run_callbacks()
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled event, or None if the heap is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def run(self, until: Any = None) -> Any:
+        """Run the event loop.
+
+        ``until`` may be ``None`` (run to exhaustion), an integer time in
+        nanoseconds (run until the clock would pass it), or an
+        :class:`Event` (run until it is processed; returns its value).
+        """
+        if until is None:
+            while self._heap:
+                self.step()
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            sentinel.defused = True  # run() surfaces the failure itself
+            while self._heap and not sentinel.processed:
+                self.step()
+            if not sentinel.processed:
+                raise SimulationError(
+                    "run() ran out of events before %r triggered" % sentinel
+                )
+            return sentinel.value  # raises the original exception on failure
+        deadline = int(until)
+        if deadline < self._now:
+            raise ValueError("cannot run until the past")
+        while self._heap and self._heap[0][0] <= deadline:
+            self.step()
+        self._now = deadline
+        return None

@@ -1,0 +1,21 @@
+"""SSD device model.
+
+Models the paper's target device (Table I): an enterprise NVMe SSD on PCIe
+Gen.3 ×4 with multiple flash channels/ways, two ARM Cortex-R7 class cores
+available to Biscuit, DRAM + small SRAM, and a key-based hardware pattern
+matcher per flash channel.
+
+The model is event-driven and calibrated so that the paper's basic
+measurements (Tables II/III, Fig. 7) are reproduced by construction:
+
+* 4 KiB internal read latency ≈ 75.9 µs (firmware overhead + tR + channel
+  transfer),
+* 4 KiB host read latency ≈ 90.0 µs (internal + NVMe/driver + PCIe),
+* internal sequential bandwidth ≈ 4.4 GB/s vs the 3.2 GB/s host-interface cap.
+"""
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SSDDevice
+from repro.ssd.pattern_matcher import MatchResult, PatternMatcher
+
+__all__ = ["SSDConfig", "SSDDevice", "PatternMatcher", "MatchResult"]

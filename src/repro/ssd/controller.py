@@ -1,0 +1,176 @@
+"""SSD controller: request scheduling over channels, firmware costs, matcher control.
+
+The controller turns logical-page requests into per-channel NAND operations.
+Requests are striped across channels at physical-page granularity, so a large
+read streams from all 16 channels concurrently — that concurrency *is* the
+internal bandwidth advantage the paper measures in Fig. 7.
+
+Placement: pages written through the FTL read back from their mapped
+location.  Pages that were never written through the FTL (paper-scale
+synthetic datasets; see DESIGN.md "analytic mode") fall back to a
+deterministic round-robin placement so their reads still exercise real
+channel contention.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, List, Optional, Sequence, Tuple
+
+from repro.sim.engine import Simulator, all_of
+from repro.sim.resources import Resource
+from repro.sim.units import us_to_ns
+from repro.ssd.config import SSDConfig
+from repro.ssd.ftl import FTL
+from repro.ssd.nand import NandArray
+
+__all__ = ["Controller", "ReadStats"]
+
+
+class ReadStats:
+    """Running counters of controller activity (used by the benches)."""
+
+    def __init__(self) -> None:
+        self.read_commands = 0
+        self.write_commands = 0
+        self.logical_pages_read = 0
+        self.logical_pages_written = 0
+        self.matcher_commands = 0
+
+    @property
+    def bytes_read(self) -> int:
+        # Filled in by the controller (config not known here); kept simple:
+        return self.logical_pages_read
+
+
+class Controller:
+    """Firmware-level request orchestration."""
+
+    # Per-stripe dispatch cost on a device core (command parsing, FTL lookup
+    # batch, DMA setup).  Small enough that two Cortex-R7s never bottleneck
+    # plain reads; matcher control (config.matcher_control_us_per_stripe) is
+    # charged on top when the IP is engaged.
+    STRIPE_DISPATCH_US = 0.5
+
+    def __init__(
+        self,
+        sim: Simulator,
+        config: SSDConfig,
+        nand: NandArray,
+        ftl: FTL,
+        cores: Resource,
+    ):
+        self.sim = sim
+        self.config = config
+        self.nand = nand
+        self.ftl = ftl
+        self.cores = cores
+        self.stats = ReadStats()
+
+    # -------------------------------------------------------------- placement
+    def placement(self, lpn: int) -> Tuple[int, int]:
+        """(channel, physical_page_id) for a logical page.
+
+        Uses the FTL mapping when present; otherwise derives a deterministic
+        round-robin stripe placement (synthetic data).
+        """
+        if self.ftl.is_mapped(lpn):
+            addr = self.ftl.translate(lpn)
+            physical_id = (
+                (addr.die * self.config.blocks_per_die + addr.block)
+                * self.config.pages_per_block
+                + addr.page
+            )
+            return addr.channel, physical_id
+        slots = self.config.logical_pages_per_physical
+        physical_index = lpn // slots
+        return physical_index % self.config.channels, physical_index
+
+    def _group_stripes(self, lpns: Sequence[int]) -> List[Tuple[int, int, int]]:
+        """Coalesce logical pages into (channel, physical_page, n_slots) stripes."""
+        groups: dict = {}
+        for lpn in lpns:
+            channel, physical = self.placement(lpn)
+            key = (channel, physical)
+            groups[key] = groups.get(key, 0) + 1
+        slots = self.config.logical_pages_per_physical
+        return [
+            (channel, physical, min(count, slots))
+            for (channel, physical), count in groups.items()
+        ]
+
+    # ------------------------------------------------------------------ read
+    def read_pages(self, lpns: Sequence[int], use_matcher: bool = False) -> Generator:
+        """Fiber: read logical pages, striped across channels.
+
+        With ``use_matcher`` the per-channel matcher IP is engaged: data flows
+        through the matchers at wire speed, but each stripe costs extra
+        device-CPU time to control the IP.
+        """
+        if not lpns:
+            return
+        # Per-command firmware cost on a device core.
+        yield from self._occupy_core(self.config.firmware_read_overhead_us)
+        stripes = self._group_stripes(lpns)
+        if len(stripes) == 1:
+            # Fast path: single-stripe commands (point reads, index probes)
+            # run inline — no fan-out fibers to spawn or join.
+            channel_index, _physical, slot_count = stripes[0]
+            yield from self._read_stripe(channel_index, slot_count, use_matcher)
+        else:
+            ops = [
+                self.sim.process(
+                    self._read_stripe(channel_index, slot_count, use_matcher),
+                    name="stripe ch%d" % channel_index,
+                )
+                for channel_index, _physical, slot_count in stripes
+            ]
+            yield all_of(self.sim, ops)
+        self.stats.read_commands += 1
+        self.stats.logical_pages_read += len(lpns)
+        if use_matcher:
+            self.stats.matcher_commands += 1
+
+    def _read_stripe(self, channel_index: int, slot_count: int, use_matcher: bool) -> Generator:
+        dispatch_us = self.STRIPE_DISPATCH_US
+        if use_matcher:
+            dispatch_us += self.config.matcher_control_us_per_stripe
+        yield from self._occupy_core(dispatch_us)
+        transfer = slot_count * self.config.logical_page_bytes
+        yield from self.nand[channel_index].read(transfer)
+
+    # ----------------------------------------------------------------- write
+    def write_pages(self, lpns: Sequence[int]) -> Generator:
+        """Fiber: write logical pages through the FTL."""
+        if not lpns:
+            return
+        yield from self._occupy_core(self.config.firmware_write_overhead_us)
+        yield from self.ftl.write(list(lpns))
+        self.stats.write_commands += 1
+        self.stats.logical_pages_written += len(lpns)
+
+    def flush(self) -> Generator:
+        yield from self.ftl.flush()
+
+    # ------------------------------------------------------------- device CPU
+    def _occupy_core(self, duration_us: float) -> Generator:
+        """Hold one device core for ``duration_us`` (models firmware CPU)."""
+        if duration_us <= 0:
+            return
+        yield self.cores.request()
+        try:
+            yield self.sim.timeout(us_to_ns(duration_us))
+        finally:
+            self.cores.release()
+
+    def device_compute(self, duration_us: float) -> Generator:
+        """Public fiber for SSDlet / firmware compute on a device core."""
+        yield from self._occupy_core(duration_us)
+
+    def software_scan(self, num_bytes: int) -> Generator:
+        """Fiber: scan ``num_bytes`` in software on one device core.
+
+        This is the path the paper says cannot keep up with internal
+        bandwidth (Section VI) — used by the ablation benches.
+        """
+        rate = self.config.device_scan_bytes_per_sec_per_core
+        yield from self._occupy_core(num_bytes / rate * 1e6)

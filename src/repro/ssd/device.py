@@ -1,0 +1,107 @@
+"""The SSD device aggregate: NAND + FTL + controller + matchers + interface.
+
+This is the object the filesystem, the Biscuit runtime and the host platform
+all talk to.  It also owns the logical-page *content store*: page payloads
+are kept logically (keyed by LPN) so that data correctness is independent of
+physical placement, exactly as on a real device where the FTL is invisible
+above the block interface.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Sequence
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.ssd.config import SSDConfig
+from repro.ssd.controller import Controller
+from repro.ssd.ftl import FTL
+from repro.ssd.nand import NandArray
+from repro.ssd.nvme import HostInterface
+from repro.ssd.pattern_matcher import PatternMatcher
+
+__all__ = ["SSDDevice"]
+
+
+class SSDDevice:
+    """One simulated SSD."""
+
+    def __init__(self, sim: Simulator, config: Optional[SSDConfig] = None,
+                 fabric=None):
+        self.sim = sim
+        self.config = config or SSDConfig()
+        self.config.validate()
+        self.nand = NandArray(sim, self.config)
+        self.ftl = FTL(sim, self.config, self.nand)
+        # The two ARM cores Biscuit may use (Table I).  Firmware I/O dispatch
+        # and SSDlet compute contend for them.
+        self.cores = Resource(sim, capacity=self.config.device_cores, name="device-cores")
+        self.controller = Controller(sim, self.config, self.nand, self.ftl, self.cores)
+        self.interface = HostInterface(sim, self.config, fabric=fabric)
+        self.matchers = [
+            PatternMatcher(self.config, i) for i in range(self.config.channels)
+        ]
+        # Logical page content (what a block device would return).
+        self._store: Dict[int, bytes] = {}
+
+    # ------------------------------------------------------------ content I/O
+    def store_page(self, lpn: int, data: bytes) -> None:
+        """Stage page content (no timing; pair with controller.write_pages)."""
+        if len(data) > self.config.logical_page_bytes:
+            raise ValueError("page payload exceeds logical page size")
+        self._store[lpn] = bytes(data)
+
+    def load_page(self, lpn: int) -> bytes:
+        """Fetch page content (no timing; pair with controller.read_pages)."""
+        return self._store.get(lpn, b"\x00" * self.config.logical_page_bytes)
+
+    def discard_pages(self, lpns: Sequence[int]) -> None:
+        for lpn in lpns:
+            self._store.pop(lpn, None)
+        self.ftl.trim(list(lpns))
+
+    # -------------------------------------------------------------- timed I/O
+    def internal_read(self, lpns: Sequence[int], use_matcher: bool = False) -> Generator:
+        """Fiber: device-internal read (the Biscuit data path, Table III).
+
+        No host-interface crossing: this is the latency/bandwidth advantage
+        NDP taps.
+        """
+        yield from self.controller.read_pages(lpns, use_matcher=use_matcher)
+
+    def internal_write(self, lpns: Sequence[int]) -> Generator:
+        """Fiber: device-internal write through the FTL."""
+        yield from self.controller.write_pages(lpns)
+
+    def host_read(self, lpns: Sequence[int]) -> Generator:
+        """Fiber: device-side portion of a host read (media + PCIe transfer).
+
+        Host-CPU costs (driver submit/complete) are charged by
+        :mod:`repro.host.io`, which wraps this.
+        """
+        yield from self.controller.read_pages(lpns)
+        total = len(lpns) * self.config.logical_page_bytes
+        yield from self.interface.transfer_to_host(total)
+
+    def host_write(self, lpns: Sequence[int]) -> Generator:
+        """Fiber: device-side portion of a host write (PCIe in + program)."""
+        total = len(lpns) * self.config.logical_page_bytes
+        yield from self.interface.transfer_to_device(total)
+        yield from self.controller.write_pages(lpns)
+
+    # --------------------------------------------------------------- matching
+    def matcher_for_lpn(self, lpn: int) -> PatternMatcher:
+        channel, _physical = self.controller.placement(lpn)
+        return self.matchers[channel]
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def internal_bytes_read(self) -> int:
+        return self.nand.bytes_read
+
+    def channel_utilization(self) -> float:
+        channels = self.nand.channels
+        return sum(c.bus.utilization() for c in channels) / len(channels)
+
+    def core_utilization(self) -> float:
+        return self.cores.utilization()

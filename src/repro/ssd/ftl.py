@@ -1,0 +1,256 @@
+"""Page-mapped flash translation layer with garbage collection.
+
+The paper's SSDlets never see this layer (Biscuit "prohibits SSDlets from
+directly using low-level, logical block addresses" and all I/O "goes through
+the same I/O paths with normal I/O requests" — Section VI).  It exists here
+because the device's media-management behaviour (striping, GC, wear
+leveling) is part of the substrate the experiments run on.
+
+Model: logical pages (4 KiB) are the mapping unit; four of them share one
+16 KiB physical page.  Writes round-robin across (channel, die) pairs and
+buffer into an open physical page per die; a page programs when its slots
+fill (or on flush).  GC picks the victim block with the fewest valid slots,
+relocates live data, erases.  Free-block allocation prefers the
+least-erased block (wear leveling).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Generator, List, NamedTuple, Optional
+
+from repro.sim.engine import Simulator, all_of
+from repro.ssd.config import SSDConfig
+from repro.ssd.nand import NandArray
+
+__all__ = ["FTL", "PhysAddr", "OutOfSpace"]
+
+
+class OutOfSpace(Exception):
+    """The device has no free block to allocate (even after GC)."""
+
+
+class PhysAddr(NamedTuple):
+    channel: int
+    die: int
+    block: int
+    page: int
+    slot: int
+
+
+class _Block:
+    __slots__ = ("index", "valid", "erase_count", "slots")
+
+    def __init__(self, index: int, pages: int, slots_per_page: int):
+        self.index = index
+        self.valid = 0
+        self.erase_count = 0
+        # slots[page][slot] = lpn or None
+        self.slots: List[List[Optional[int]]] = [
+            [None] * slots_per_page for _ in range(pages)
+        ]
+
+    def wipe(self, pages: int, slots_per_page: int) -> None:
+        self.valid = 0
+        self.erase_count += 1
+        self.slots = [[None] * slots_per_page for _ in range(pages)]
+
+
+class _Die:
+    __slots__ = ("channel", "die", "blocks", "free", "open_block", "next_page", "pending")
+
+    def __init__(self, channel: int, die: int, config: SSDConfig):
+        self.channel = channel
+        self.die = die
+        slots = config.logical_pages_per_physical
+        self.blocks = [
+            _Block(i, config.pages_per_block, slots) for i in range(config.blocks_per_die)
+        ]
+        self.free: deque = deque(self.blocks)
+        self.open_block: Optional[_Block] = None
+        self.next_page = 0
+        self.pending: List[int] = []  # lpns buffered for the open physical page
+
+
+class FTL:
+    """Page-mapped FTL over a :class:`~repro.ssd.nand.NandArray`."""
+
+    GC_FREE_THRESHOLD = 2  # run GC when a die has fewer free blocks than this
+
+    def __init__(self, sim: Simulator, config: SSDConfig, nand: NandArray):
+        config.validate()
+        self.sim = sim
+        self.config = config
+        self.nand = nand
+        self._dies = [
+            _Die(channel, die, config)
+            for channel in range(config.channels)
+            for die in range(config.dies_per_channel)
+        ]
+        self._map: Dict[int, PhysAddr] = {}
+        self._cursor = 0
+        # Statistics.
+        self.host_pages_written = 0
+        self.relocated_pages = 0
+        self.physical_pages_programmed = 0
+        self.gc_runs = 0
+
+    # ------------------------------------------------------------- inspection
+    def is_mapped(self, lpn: int) -> bool:
+        return lpn in self._map
+
+    def translate(self, lpn: int) -> PhysAddr:
+        """Physical location of a logical page; raises ``KeyError`` if unmapped."""
+        return self._map[lpn]
+
+    @property
+    def mapped_pages(self) -> int:
+        return len(self._map)
+
+    @property
+    def write_amplification(self) -> float:
+        """NAND slot-writes (host + relocation) per host page write."""
+        if self.host_pages_written == 0:
+            return 0.0
+        return (self.host_pages_written + self.relocated_pages) / self.host_pages_written
+
+    def erase_counts(self) -> List[int]:
+        return [block.erase_count for die in self._dies for block in die.blocks]
+
+    # ------------------------------------------------------------------ write
+    def write(self, lpns: List[int]) -> Generator:
+        """Fiber: write the given logical pages (data path timing included)."""
+        programs = []
+        for lpn in lpns:
+            if lpn < 0:
+                raise ValueError("negative LPN %d" % lpn)
+            self._invalidate(lpn)
+            die = self._dies[self._cursor]
+            self._cursor = (self._cursor + 1) % len(self._dies)
+            event = yield from self._append(die, lpn, relocation=False)
+            if event is not None:
+                programs.append(event)
+        if programs:
+            yield all_of(self.sim, programs)
+
+    def trim(self, lpns: List[int]) -> None:
+        """Discard mappings (e.g. on file delete); instantaneous metadata op."""
+        for lpn in lpns:
+            self._invalidate(lpn)
+            self._map.pop(lpn, None)
+
+    def flush(self) -> Generator:
+        """Fiber: force partially-filled open pages onto media."""
+        programs = []
+        for die in self._dies:
+            if die.pending:
+                programs.append(self._program_pending(die))
+        if programs:
+            yield all_of(self.sim, programs)
+
+    # ----------------------------------------------------------- internals
+    def _invalidate(self, lpn: int) -> None:
+        old = self._map.get(lpn)
+        if old is None:
+            return
+        die = self._die_at(old.channel, old.die)
+        block = die.blocks[old.block]
+        if block.slots[old.page][old.slot] == lpn:
+            block.slots[old.page][old.slot] = None
+            block.valid -= 1
+
+    def _die_at(self, channel: int, die: int) -> _Die:
+        return self._dies[channel * self.config.dies_per_channel + die]
+
+    def _allocate_block(self, die: _Die) -> _Block:
+        if not die.free:
+            raise OutOfSpace("die (%d,%d) has no free blocks" % (die.channel, die.die))
+        # Wear leveling: pick the least-erased free block.
+        best = min(die.free, key=lambda block: block.erase_count)
+        die.free.remove(best)
+        return best
+
+    def _append(self, die: _Die, lpn: int, relocation: bool) -> Generator:
+        """Place ``lpn`` into the die's open page; returns a program event
+        once the page fills, else None.  May run GC first."""
+        if not relocation:
+            yield from self._maybe_gc(die)
+        if die.open_block is None:
+            die.open_block = self._allocate_block(die)
+            die.next_page = 0
+        block = die.open_block
+        slot = len(die.pending)
+        block.slots[die.next_page][slot] = lpn
+        block.valid += 1
+        self._map[lpn] = PhysAddr(die.channel, die.die, block.index, die.next_page, slot)
+        die.pending.append(lpn)
+        if relocation:
+            self.relocated_pages += 1
+        else:
+            self.host_pages_written += 1
+        if len(die.pending) == self.config.logical_pages_per_physical:
+            return self._program_pending(die)
+        return None
+
+    def _program_pending(self, die: _Die):
+        """Kick off the NAND program for the die's buffered page; returns its event."""
+        filled = len(die.pending)
+        die.pending = []
+        transfer = filled * self.config.logical_page_bytes
+        self.physical_pages_programmed += 1
+        channel = self.nand[die.channel]
+        event = self.sim.process(channel.program(transfer),
+                                 name="prog ch%d d%d" % (die.channel, die.die))
+        die.next_page += 1
+        if die.next_page == self.config.pages_per_block:
+            die.open_block = None
+            die.next_page = 0
+        return event
+
+    def _maybe_gc(self, die: _Die) -> Generator:
+        """Run garbage collection on the die until it has breathing room."""
+        while len(die.free) < self.GC_FREE_THRESHOLD:
+            victim = self._pick_victim(die)
+            if victim is None:
+                if die.free:
+                    return  # nothing reclaimable but not wedged yet
+                raise OutOfSpace(
+                    "die (%d,%d): no GC victim and no free blocks" % (die.channel, die.die)
+                )
+            yield from self._collect(die, victim)
+
+    def _pick_victim(self, die: _Die) -> Optional[_Block]:
+        candidates = [
+            block for block in die.blocks
+            if block is not die.open_block and block not in die.free
+        ]
+        if not candidates:
+            return None
+        victim = min(candidates, key=lambda block: block.valid)
+        slots_per_block = self.config.pages_per_block * self.config.logical_pages_per_physical
+        if victim.valid >= slots_per_block:
+            return None  # everything is live; GC would not reclaim space
+        return victim
+
+    def _collect(self, die: _Die, victim: _Block) -> Generator:
+        """Relocate the victim's live pages, then erase it."""
+        self.gc_runs += 1
+        channel = self.nand[die.channel]
+        live: List[int] = []
+        for page_slots in victim.slots:
+            page_live = [lpn for lpn in page_slots if lpn is not None]
+            if page_live:
+                # One media read per physical page holding live data.
+                yield from channel.read(len(page_live) * self.config.logical_page_bytes)
+                live.extend(page_live)
+        for lpn in live:
+            # The slot is consumed by relocation; clear it from the victim.
+            addr = self._map[lpn]
+            victim.slots[addr.page][addr.slot] = None
+            victim.valid -= 1
+            event = yield from self._append(die, lpn, relocation=True)
+            if event is not None:
+                yield event
+        yield from channel.erase()
+        victim.wipe(self.config.pages_per_block, self.config.logical_pages_per_physical)
+        die.free.append(victim)

@@ -1,0 +1,110 @@
+"""NAND flash channel and die timing model.
+
+Each channel has ``dies_per_channel`` dies and one shared channel bus.  A
+page read occupies a die for the sense time (tR) and then the bus for the
+data transfer; with several dies per channel, senses overlap the bus and the
+channel streams at its wire rate — exactly the pipelining that gives the
+paper's SSD its >4 GB/s internal bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.units import transfer_ns, us_to_ns
+from repro.ssd.config import SSDConfig
+
+__all__ = ["Channel", "NandArray"]
+
+
+class Channel:
+    """One flash channel: a die pool and a shared bus."""
+
+    def __init__(self, sim: Simulator, config: SSDConfig, index: int):
+        self.sim = sim
+        self.config = config
+        self.index = index
+        self.dies = Resource(sim, capacity=config.dies_per_channel, name="ch%d.dies" % index)
+        self.bus = Resource(sim, capacity=1, name="ch%d.bus" % index)
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.reads = 0
+        self.programs = 0
+        self.erases = 0
+
+    def read(self, transfer_bytes: int) -> Generator:
+        """Read one physical page, transferring ``transfer_bytes`` of it.
+
+        Fiber: occupies a die for tR, then the channel bus for the transfer.
+        ``transfer_bytes`` may be less than the physical page when only some
+        logical sub-pages are wanted.
+        """
+        config = self.config
+        if not 0 < transfer_bytes <= config.physical_page_bytes:
+            raise ValueError("transfer of %d bytes from a %d-byte page"
+                             % (transfer_bytes, config.physical_page_bytes))
+        yield self.dies.request()
+        try:
+            yield self.sim.timeout(us_to_ns(config.nand_read_us))
+            yield self.bus.request()
+            try:
+                yield self.sim.timeout(transfer_ns(transfer_bytes, config.channel_bytes_per_sec))
+            finally:
+                self.bus.release()
+        finally:
+            self.dies.release()
+        self.bytes_read += transfer_bytes
+        self.reads += 1
+
+    def program(self, transfer_bytes: int) -> Generator:
+        """Program one physical page (bus transfer in, then tPROG on the die)."""
+        config = self.config
+        if not 0 < transfer_bytes <= config.physical_page_bytes:
+            raise ValueError("program of %d bytes into a %d-byte page"
+                             % (transfer_bytes, config.physical_page_bytes))
+        yield self.dies.request()
+        try:
+            yield self.bus.request()
+            try:
+                yield self.sim.timeout(transfer_ns(transfer_bytes, config.channel_bytes_per_sec))
+            finally:
+                self.bus.release()
+            yield self.sim.timeout(us_to_ns(config.nand_program_us))
+        finally:
+            self.dies.release()
+        self.bytes_written += transfer_bytes
+        self.programs += 1
+
+    def erase(self) -> Generator:
+        """Erase one block (die busy for tBERS; no bus traffic)."""
+        yield self.dies.request()
+        try:
+            yield self.sim.timeout(us_to_ns(self.config.nand_erase_us))
+        finally:
+            self.dies.release()
+        self.erases += 1
+
+
+class NandArray:
+    """All channels of the device."""
+
+    def __init__(self, sim: Simulator, config: SSDConfig):
+        self.sim = sim
+        self.config = config
+        self.channels = [Channel(sim, config, i) for i in range(config.channels)]
+
+    def __getitem__(self, index: int) -> Channel:
+        return self.channels[index]
+
+    def __len__(self) -> int:
+        return len(self.channels)
+
+    @property
+    def bytes_read(self) -> int:
+        return sum(channel.bytes_read for channel in self.channels)
+
+    @property
+    def bytes_written(self) -> int:
+        return sum(channel.bytes_written for channel in self.channels)

@@ -1,0 +1,94 @@
+"""NVMe / PCIe host-interface model.
+
+The host interface is what near-data processing avoids: every byte a Conv
+read returns must cross this link (3.2 GB/s cap, Table I), and every command
+pays a fixed driver/protocol cost.  Biscuit-internal reads bypass it
+entirely; only SSDlet results cross it.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource
+from repro.sim.units import transfer_ns
+from repro.ssd.config import SSDConfig
+
+__all__ = ["HostInterface", "Fabric"]
+
+
+class Fabric:
+    """A shared PCIe switch upstream of several SSDs (Scale-up, Fig. 1(b)).
+
+    All attached devices' host transfers serialize through it at
+    ``bytes_per_sec`` — the "fabric bottleneck" interference of Section V-B.
+    """
+
+    def __init__(self, sim: Simulator, bytes_per_sec: float):
+        if bytes_per_sec <= 0:
+            raise ValueError("fabric rate must be positive")
+        self.sim = sim
+        self.bytes_per_sec = bytes_per_sec
+        self.link = Resource(sim, capacity=1, name="fabric")
+        self.bytes_moved = 0
+
+    def transfer(self, num_bytes: int):
+        if num_bytes <= 0:
+            return
+        yield self.link.request()
+        try:
+            yield self.sim.timeout(transfer_ns(num_bytes, self.bytes_per_sec))
+        finally:
+            self.link.release()
+        self.bytes_moved += num_bytes
+
+    def utilization(self) -> float:
+        return self.link.utilization()
+
+
+class HostInterface:
+    """PCIe Gen.3 ×4 link plus NVMe queue-depth limit."""
+
+    def __init__(self, sim: Simulator, config: SSDConfig, fabric: "Fabric" = None):
+        self.sim = sim
+        self.config = config
+        self.fabric = fabric
+        self.link = Resource(sim, capacity=1, name="pcie")
+        self.queue_slots = Resource(sim, capacity=config.nvme_queue_depth, name="nvme-qd")
+        self.bytes_to_host = 0
+        self.bytes_to_device = 0
+        self.commands = 0
+
+    def acquire_slot(self) -> Generator:
+        """Fiber: take an NVMe queue slot (released with :meth:`release_slot`)."""
+        yield self.queue_slots.request()
+
+    def release_slot(self) -> None:
+        self.queue_slots.release()
+
+    def transfer_to_host(self, num_bytes: int) -> Generator:
+        """Fiber: move ``num_bytes`` device→host over the shared link."""
+        yield from self._transfer(num_bytes)
+        self.bytes_to_host += num_bytes
+
+    def transfer_to_device(self, num_bytes: int) -> Generator:
+        """Fiber: move ``num_bytes`` host→device over the shared link."""
+        yield from self._transfer(num_bytes)
+        self.bytes_to_device += num_bytes
+
+    def _transfer(self, num_bytes: int) -> Generator:
+        if num_bytes <= 0:
+            return
+        self.commands += 1
+        yield self.link.request()
+        try:
+            yield self.sim.timeout(transfer_ns(num_bytes, self.config.pcie_bytes_per_sec))
+        finally:
+            self.link.release()
+        if self.fabric is not None:
+            # The payload also crosses the shared upstream switch.
+            yield from self.fabric.transfer(num_bytes)
+
+    def utilization(self) -> float:
+        return self.link.utilization()

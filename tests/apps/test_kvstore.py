@@ -1,0 +1,81 @@
+"""SkimpyStash-style KV store: correctness and traversal behavior."""
+
+import pytest
+
+from repro.apps.kvstore import KVStore, build_store
+from repro.host.platform import System
+
+
+@pytest.fixture
+def store(system):
+    return build_store(system, num_items=600, buckets=32)
+
+
+def timed(system, fiber):
+    start = system.sim.now_s
+    value = system.run_fiber(fiber)
+    return value, system.sim.now_s - start
+
+
+def test_build_layout(system, store):
+    inode = system.fs.lookup("/kv/store.log")
+    assert inode.size > 0
+    assert store.record_count == 600
+    # Every bucket head points inside the log.
+    for head in store.directory:
+        assert head == 0xFFFFFFFFFFFFFFFF or head < inode.size
+
+
+def test_conv_lookup_finds_values(system, store):
+    keys = [b"key-%08d" % i for i in (0, 1, 599)]
+    results, _ = timed(system, store.get_conv(keys))
+    assert all(results[k] is not None for k in keys)
+
+
+def test_conv_lookup_miss(system, store):
+    results, _ = timed(system, store.get_conv([b"nope"]))
+    assert results[b"nope"] is None
+
+
+def test_biscuit_matches_conv(system, store):
+    keys = [b"key-%08d" % i for i in range(0, 600, 13)] + [b"ghost"]
+    conv, _ = timed(system, store.get_conv(keys))
+    biscuit, _ = timed(system, store.get_biscuit(keys))
+    assert conv == biscuit
+
+
+def test_overwritten_key_returns_latest(system):
+    items = [(b"dup", b"old"), (b"other", b"x"), (b"dup", b"new")]
+    store = KVStore.build(system, "/kv/dup.log", items, buckets=4)
+    results, _ = timed(system, store.get_conv([b"dup"]))
+    assert results[b"dup"] == b"new"
+
+
+def test_chain_walk_costs_reads(system, store):
+    """Deep chains (many records per bucket) cost more than shallow ones."""
+    shallow = build_store(system, 64, buckets=64, path="/kv/shallow.log")
+    deep = build_store(system, 64, buckets=1, path="/kv/deep.log")
+    key = [b"key-%08d" % 0]  # first-inserted: at the *end* of the chain
+    _, shallow_s = timed(system, shallow.get_conv(key))
+    _, deep_s = timed(system, deep.get_conv(key))
+    assert deep_s > 10 * shallow_s
+
+
+def test_biscuit_faster_than_conv(system, store):
+    keys = [b"key-%08d" % i for i in range(0, 600, 5)]
+    _, conv_s = timed(system, store.get_conv(keys))
+    _, biscuit_s = timed(system, store.get_biscuit(keys))
+    assert biscuit_s < conv_s
+
+
+def test_batching_amortizes_ports(system, store):
+    keys = [b"key-%08d" % i for i in range(120)]
+    _, big_batches = timed(system, store.get_biscuit(keys, batch=64))
+    _, tiny_batches = timed(system, store.get_biscuit(keys, batch=2))
+    assert big_batches < tiny_batches
+
+
+def test_empty_key_list(system, store):
+    conv, _ = timed(system, store.get_conv([]))
+    biscuit, _ = timed(system, store.get_biscuit([]))
+    assert conv == biscuit == {}

@@ -1,0 +1,73 @@
+"""Web-log analytics: hybrid SSDlet+HostTask pipeline, and the
+"Is NDP for all?" lesson (Section VI)."""
+
+import pytest
+
+from repro.apps.log_analytics import (
+    _top_k,
+    install_access_log,
+    run_biscuit,
+    run_conv,
+)
+from repro.host.platform import System
+
+
+@pytest.fixture(scope="module")
+def small_log():
+    system = System()
+    _, truth = install_access_log(system, "/logs/a.log", 8000)
+    return system, truth
+
+
+def test_conv_matches_ground_truth(small_log):
+    system, truth = small_log
+    top, _ = run_conv(system, "/logs/a.log")
+    assert top == _top_k(truth, 10)
+
+
+def test_biscuit_matches_conv(small_log):
+    system, truth = small_log
+    conv_top, _ = run_conv(system, "/logs/a.log")
+    biscuit_top, _ = run_biscuit(system, "/logs/a.log")
+    assert biscuit_top == conv_top
+
+
+def test_parser_count_invariance(small_log):
+    system, _ = small_log
+    two, _ = run_biscuit(system, "/logs/a.log", num_parsers=2)
+    five, _ = run_biscuit(system, "/logs/a.log", num_parsers=5)
+    assert two == five
+
+
+def test_filtered_analytics_matches(small_log):
+    system, _ = small_log
+    needle = '/item/7"'
+    conv_top, _ = run_conv(system, "/logs/a.log", needle=needle)
+    biscuit_top, _ = run_biscuit(system, "/logs/a.log", needle=needle)
+    assert conv_top == biscuit_top
+
+
+def test_full_parse_is_not_an_ndp_fit(small_log):
+    """Parse-heavy work on slow device cores loses: Section VI's point that
+    not all applications benefit from NDP."""
+    system, _ = small_log
+    _, conv_s = run_conv(system, "/logs/a.log")
+    _, biscuit_s = run_biscuit(system, "/logs/a.log")
+    assert biscuit_s > conv_s
+
+
+def test_filtered_analytics_is_an_ndp_fit():
+    """With the matcher discarding non-matching data at wire speed, the
+    same pipeline wins — high filtering ratio, light compute."""
+    system = System()
+    install_access_log(system, "/logs/big.log", 300_000, seed=2)
+    needle = '/item/777"'
+    conv_top, conv_s = run_conv(system, "/logs/big.log", needle=needle)
+    biscuit_top, biscuit_s = run_biscuit(system, "/logs/big.log", needle=needle)
+    assert conv_top == biscuit_top
+    assert biscuit_s < conv_s
+
+
+def test_top_k_ordering():
+    stats = {"a": (5, 100), "b": (9, 10), "c": (5, 50)}
+    assert _top_k(stats, 2) == [("b", 9, 10), ("a", 5, 100)]

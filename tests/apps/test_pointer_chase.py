@@ -1,0 +1,82 @@
+"""Pointer chasing: Conv/Biscuit value equivalence and latency calibration."""
+
+import pytest
+
+from repro.apps.pointer_chase import (
+    DEVICE_HOP_US,
+    HOST_HOP_US,
+    build_analytic_graph,
+    build_exact_graph,
+    run_biscuit,
+    run_conv,
+)
+from repro.host.platform import System
+
+
+def test_exact_traversals_agree(system):
+    graph = build_exact_graph(system, "/g.bin", 500)
+    finals_conv, _ = run_conv(system, graph, 3, 50)
+    finals_bisc, _ = run_biscuit(system, graph, 3, 50)
+    assert finals_conv == finals_bisc
+    assert len(finals_conv) == 3
+
+
+def test_walks_are_deterministic(system):
+    graph = build_exact_graph(system, "/g.bin", 300)
+    first, _ = run_conv(system, graph, 2, 30)
+    second, _ = run_conv(system, graph, 2, 30)
+    assert first == second
+
+
+def test_analytic_traversals_agree(system):
+    graph = build_analytic_graph(system, "/g.bin", 1_000_000)
+    finals_conv, _ = run_conv(system, graph, 2, 40)
+    finals_bisc, _ = run_biscuit(system, graph, 2, 40)
+    assert finals_conv == finals_bisc
+
+
+def test_conv_per_hop_latency_is_94us(system):
+    graph = build_analytic_graph(system, "/g.bin", 100_000)
+    _, elapsed = run_conv(system, graph, 2, 250)
+    per_hop_us = elapsed / 500 * 1e6
+    # Table III read (90.0) + host per-hop processing (4.0).
+    assert abs(per_hop_us - (90.0 + HOST_HOP_US)) < 1.0
+
+
+def test_biscuit_per_hop_approaches_84us(system):
+    graph = build_analytic_graph(system, "/g.bin", 100_000)
+    _, elapsed = run_biscuit(system, graph, 2, 500)
+    per_hop_us = elapsed / 1000 * 1e6
+    # 75.9 + 8.4 plus amortized app setup.
+    assert 75.9 + DEVICE_HOP_US < per_hop_us < 75.9 + DEVICE_HOP_US + 8
+
+
+def test_conv_degrades_under_load_biscuit_does_not():
+    loaded = System(background_threads=24)
+    graph = build_analytic_graph(loaded, "/g.bin", 100_000)
+    _, conv_loaded = run_conv(loaded, graph, 1, 200)
+    _, bisc_loaded = run_biscuit(loaded, graph, 1, 200)
+
+    idle = System()
+    graph_idle = build_analytic_graph(idle, "/g.bin", 100_000)
+    _, conv_idle = run_conv(idle, graph_idle, 1, 200)
+    _, bisc_idle = run_biscuit(idle, graph_idle, 1, 200)
+
+    assert conv_loaded > 1.08 * conv_idle
+    assert abs(bisc_loaded - bisc_idle) / bisc_idle < 0.02
+
+
+def test_successor_stays_in_range(system):
+    graph = build_analytic_graph(system, "/g.bin", 1234)
+    for node in (0, 617, 1233):
+        for hop in range(20):
+            assert 0 <= graph.analytic_successor(node, hop) < 1234
+
+
+def test_exact_graph_record_layout(system):
+    graph = build_exact_graph(system, "/g.bin", 64)
+    inode = system.fs.lookup("/g.bin")
+    assert inode.size == 64 * 64  # 64-byte records
+    record = system.fs.read_range(inode, 0, 64)
+    degree = int.from_bytes(record[:2], "little")
+    assert 1 <= degree <= 15

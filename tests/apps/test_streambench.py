@@ -1,0 +1,44 @@
+"""StreamBench background load generator."""
+
+import pytest
+
+from repro.apps.streambench import StreamBench, with_background_load
+from repro.host.platform import System
+
+
+def test_start_stop_sets_contention(system):
+    bench = StreamBench(system, 12)
+    bench.start()
+    assert system.cpu.background_threads == 12
+    bench.stop()
+    assert system.cpu.background_threads == 0
+
+
+def test_idempotent_start_stop(system):
+    bench = StreamBench(system, 6)
+    bench.start()
+    bench.start()
+    bench.stop()
+    bench.stop()
+    assert system.cpu.background_threads == 0
+
+
+def test_negative_threads_rejected(system):
+    with pytest.raises(ValueError):
+        StreamBench(system, -1)
+
+
+def test_context_manager(system):
+    with with_background_load(system, 18):
+        assert system.cpu.background_threads == 18
+    assert system.cpu.background_threads == 0
+
+
+def test_occupy_cores_spawns_and_stops_fibers(system):
+    bench = StreamBench(system, 4, occupy_cores=True)
+    bench.start()
+    system.sim.run(until=5_000_000)  # let hogs run 5 ms
+    assert system.cpu.cores.in_use == 4
+    bench.stop()
+    system.sim.run()
+    assert system.cpu.cores.in_use == 0

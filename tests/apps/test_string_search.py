@@ -1,0 +1,91 @@
+"""String search: exact counts, load behavior, partitioning edges."""
+
+from repro.apps.string_search import (
+    boyer_moore_count,
+    install_weblog,
+    install_weblog_analytic,
+    run_biscuit_search,
+    run_conv_search,
+)
+from repro.host.platform import System
+from repro.sim.units import MIB
+
+
+def exact_setup(size=1 * MIB, keyword="NEEDLE42"):
+    system = System()
+    inode, _ = install_weblog(system, "/w.log", size, keyword)
+    truth = system.fs.read_range(inode, 0, inode.size).count(keyword.encode())
+    return system, truth
+
+
+def test_conv_counts_exactly():
+    system, truth = exact_setup()
+    count, elapsed = run_conv_search(system, "/w.log", "NEEDLE42")
+    assert count == truth
+    assert elapsed > 0
+
+
+def test_biscuit_counts_exactly():
+    system, truth = exact_setup()
+    count, _ = run_biscuit_search(system, "/w.log", "NEEDLE42")
+    assert count == truth
+
+
+def test_keyword_absent():
+    system, _ = exact_setup()
+    assert run_conv_search(system, "/w.log", "ZZZNOPEZZZ")[0] == 0
+    assert run_biscuit_search(system, "/w.log", "ZZZNOPEZZZ")[0] == 0
+
+
+def test_single_searcher_still_correct():
+    system, truth = exact_setup(size=256 * 1024)
+    count, _ = run_biscuit_search(system, "/w.log", "NEEDLE42", num_searchers=1)
+    assert count == truth
+
+
+def test_more_searchers_than_pages():
+    system = System()
+    inode, _ = install_weblog(system, "/tiny.log", 6000, "NEEDLE42", hit_rate=0.2)
+    truth = system.fs.read_range(inode, 0, inode.size).count(b"NEEDLE42")
+    count, _ = run_biscuit_search(system, "/tiny.log", "NEEDLE42", num_searchers=8)
+    assert count == truth
+
+
+def test_searchers_partition_without_overlap():
+    """Two different worker counts must agree exactly (no double counting)."""
+    system, truth = exact_setup(size=512 * 1024)
+    two, _ = run_biscuit_search(system, "/w.log", "NEEDLE42", num_searchers=2)
+    five, _ = run_biscuit_search(system, "/w.log", "NEEDLE42", num_searchers=5)
+    assert two == five == truth
+
+
+def test_conv_slows_under_load_biscuit_does_not():
+    system = System()
+    install_weblog_analytic(system, "/big.log", 64 * MIB, "KEY", 0.02)
+    _, conv_idle = run_conv_search(system, "/big.log", "KEY")
+    _, bisc_idle = run_biscuit_search(system, "/big.log", "KEY")
+    system.set_background_load(24)
+    _, conv_loaded = run_conv_search(system, "/big.log", "KEY")
+    _, bisc_loaded = run_biscuit_search(system, "/big.log", "KEY")
+    assert conv_loaded > 1.4 * conv_idle
+    assert abs(bisc_loaded - bisc_idle) / bisc_idle < 0.05
+
+
+def test_analytic_counts_deterministic():
+    system = System()
+    install_weblog_analytic(system, "/a.log", 16 * MIB, "KEY", 0.05)
+    first, _ = run_biscuit_search(system, "/a.log", "KEY")
+    second, _ = run_biscuit_search(system, "/a.log", "KEY")
+    assert first == second > 0
+
+
+def test_boyer_moore_count_reference():
+    assert boyer_moore_count(b"abcabcab", b"abc") == 2
+    assert boyer_moore_count(b"", b"x") == 0
+
+
+def test_weblog_generator_plants_keyword():
+    system = System()
+    inode, planted = install_weblog(system, "/p.log", 200_000, "MARKER", hit_rate=0.05)
+    data = system.fs.read_range(inode, 0, inode.size)
+    assert data.count(b"MARKER") == planted > 0

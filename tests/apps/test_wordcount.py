@@ -1,0 +1,81 @@
+"""Wordcount (the paper's working example): exact correctness."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.wordcount import run_wordcount, tokenize
+from repro.host.platform import System
+
+
+def expected_counts(text: str):
+    return dict(Counter(text.lower().split()))
+
+
+def run(text: str, mappers: int = 2):
+    system = System()
+    system.fs.install("/in.txt", text.encode())
+    return run_wordcount(system, "/in.txt", num_mappers=mappers), system
+
+
+def test_simple_text():
+    counts, _ = run("the cat and the hat and the bat")
+    assert counts == {"the": 3, "and": 2, "cat": 1, "hat": 1, "bat": 1}
+
+
+def test_case_folding():
+    counts, _ = run("Apple apple APPLE")
+    assert counts == {"apple": 3}
+
+
+def test_single_word():
+    counts, _ = run("solo")
+    assert counts == {"solo": 1}
+
+
+def test_empty_text_single_space():
+    counts, _ = run(" ")
+    assert counts == {}
+
+
+@pytest.mark.parametrize("mappers", [1, 2, 3, 5])
+def test_mapper_count_invariance(mappers):
+    text = "alpha beta gamma delta " * 57
+    counts, _ = run(text, mappers)
+    assert counts == expected_counts(text)
+
+
+def test_word_straddling_partition_boundary():
+    """A word split across the mapper byte boundary is counted once."""
+    # Two mappers split at len//2; craft a word exactly straddling it.
+    text = "aa " * 100 + "straddler" + " bb" * 100
+    counts, _ = run(text, 2)
+    assert counts == expected_counts(text)
+
+
+def test_more_mappers_than_words():
+    counts, _ = run("one two", 5)
+    assert counts == {"one": 1, "two": 1}
+
+
+def test_simulated_time_advances():
+    _, system = run("some words here " * 50)
+    assert system.sim.now > 0
+
+
+def test_tokenize_handles_whitespace_kinds():
+    assert tokenize(b"a\tb\nc  d\r\ne") == ["a", "b", "c", "d", "e"]
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(
+    st.text(alphabet="abcxyz", min_size=1, max_size=8),
+    min_size=1, max_size=120,
+))
+def test_property_matches_reference_counter(words):
+    """Device wordcount equals collections.Counter for any word list."""
+    text = " ".join(words)
+    counts, _ = run(text, 3)
+    assert counts == expected_counts(text)

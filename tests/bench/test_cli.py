@@ -1,0 +1,34 @@
+"""The experiment-runner command line (python -m repro.bench)."""
+
+import pytest
+
+from repro.bench.__main__ import EXPERIMENTS, main
+
+
+def test_list(capsys):
+    assert main(["--list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(SystemExit):
+        main(["does-not-exist"])
+
+
+def test_run_single_experiment(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table II" in out
+    assert "saved:" in out
+    assert (tmp_path / "table2.txt").exists()
+    assert (tmp_path / "table2.csv").exists()
+
+
+def test_no_save_flag(capsys, tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["table2", "--no-save"]) == 0
+    assert "saved:" not in capsys.readouterr().out
+    assert not (tmp_path / "table2.txt").exists()

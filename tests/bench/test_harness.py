@@ -1,0 +1,37 @@
+"""Experiment harness: formatting and persistence."""
+
+import os
+
+from repro.bench.harness import ExperimentResult, format_table, save_result
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"], [["long-name", 1.5], ["x", 22]])
+    lines = text.splitlines()
+    assert len(lines) == 4  # header, rule, two rows
+    assert lines[0].endswith("value")
+    widths = {len(line) for line in lines}
+    assert len(widths) == 1  # all lines equal width
+
+
+def test_format_table_float_rendering():
+    text = format_table(["v"], [[3.14159265]])
+    assert "3.142" in text
+
+
+def test_result_format_includes_notes():
+    result = ExperimentResult(
+        "Table X", "demo", ["a"], [[1]], notes=["remember this"],
+    )
+    formatted = result.format()
+    assert "Table X: demo" in formatted
+    assert "note: remember this" in formatted
+
+
+def test_save_result_writes_file(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    result = ExperimentResult("Fig Z", "t", ["h"], [[1]])
+    path = save_result(result, "demo")
+    assert os.path.exists(path)
+    with open(path) as handle:
+        assert "Fig Z" in handle.read()

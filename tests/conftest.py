@@ -1,0 +1,43 @@
+"""Shared fixtures: fresh systems plus a session-scoped tiny TPC-H database."""
+
+import pytest
+
+from repro.db.planner import create_engine
+from repro.db.executor import ExecutionMode
+from repro.db.tpch.datagen import generate_tables, load_tpch
+from repro.host.platform import System
+
+TINY_SF = 0.002
+
+
+@pytest.fixture
+def system():
+    """A fresh simulated platform."""
+    return System()
+
+
+@pytest.fixture(scope="session")
+def tpch_data():
+    """Raw generated TPC-H rows at the test scale factor."""
+    return generate_tables(TINY_SF)
+
+
+@pytest.fixture(scope="session")
+def tpch_system():
+    """One platform with TPC-H loaded, shared across DB tests.
+
+    Tests must not mutate the filesystem; engines are created per test.
+    """
+    system = System()
+    db = load_tpch(system.fs, TINY_SF)
+    return system, db
+
+
+@pytest.fixture
+def tpch_engines(tpch_system):
+    """(conv, biscuit) engines over the shared TPC-H database."""
+    system, db = tpch_system
+    return (
+        create_engine(system, db, ExecutionMode.CONV),
+        create_engine(system, db, ExecutionMode.BISCUIT),
+    )

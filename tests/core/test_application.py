@@ -1,0 +1,257 @@
+"""Application lifecycle: wiring rules, start/wait, pipelines, failures."""
+
+import pytest
+
+from repro.core import SSD, Application, Packet, SSDLetProxy
+from repro.core.errors import (
+    PortClosed,
+    PortConnectionError,
+    TypeMismatchError,
+)
+
+from tests.core.helpers import IMAGE_PATH, deploy
+
+
+@pytest.fixture
+def ssd(system):
+    deploy(system)
+    return SSD(system)
+
+
+def load(system, ssd):
+    return system.run_fiber(ssd.loadModule(IMAGE_PATH))
+
+
+def test_producer_to_host(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (5,))
+        port = app.connectTo(producer.out(0), int)
+        yield from app.start()
+        values = yield from port.drain()
+        yield from app.wait()
+        return values
+
+    assert system.run_fiber(program()) == [0, 1, 2, 3, 4]
+
+
+def test_pipeline_through_doubler(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (4,))
+        doubler = SSDLetProxy(app, mid, "idDoubler")
+        app.connect(producer.out(0), doubler.in_(0))
+        port = app.connectTo(doubler.out(0), int)
+        yield from app.start()
+        values = yield from port.drain()
+        yield from app.wait()
+        return values
+
+    assert system.run_fiber(program()) == [0, 2, 4, 6]
+
+
+def test_mpsc_fan_in(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producers = [SSDLetProxy(app, mid, "idProducer", (3,)) for _ in range(3)]
+        consumer = SSDLetProxy(app, mid, "idConsumer")
+        for producer in producers:
+            app.connect(producer.out(0), consumer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return consumer.instance.received
+
+    received = system.run_fiber(program())
+    assert sorted(received) == sorted([0, 1, 2] * 3)
+
+
+def test_spmc_work_sharing(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (12,))
+        consumers = [SSDLetProxy(app, mid, "idConsumer") for _ in range(2)]
+        for consumer in consumers:
+            app.connect(producer.out(0), consumer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return [c.instance.received for c in consumers]
+
+    received = system.run_fiber(program())
+    assert sorted(received[0] + received[1]) == list(range(12))
+    assert received[0] and received[1]  # both actually participated
+
+
+def test_connect_type_mismatch_rejected(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    source = SSDLetProxy(app, mid, "idStrSource")
+    consumer = SSDLetProxy(app, mid, "idConsumer")  # int input
+    with pytest.raises(TypeMismatchError):
+        app.connect(source.out(0), consumer.in_(0))
+
+
+def test_connect_direction_validated(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    a = SSDLetProxy(app, mid, "idProducer", (1,))
+    b = SSDLetProxy(app, mid, "idConsumer")
+    with pytest.raises(PortConnectionError):
+        app.connect(b.in_(0), a.out(0))
+
+
+def test_connectTo_type_must_match(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    producer = SSDLetProxy(app, mid, "idProducer", (1,))
+    with pytest.raises(TypeMismatchError):
+        app.connectTo(producer.out(0), str)
+
+
+def test_bad_port_index_rejected(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    producer = SSDLetProxy(app, mid, "idProducer", (1,))
+    consumer = SSDLetProxy(app, mid, "idConsumer")
+    with pytest.raises(PortConnectionError):
+        app.connect(producer.out(1), consumer.in_(0))
+
+
+def test_start_twice_rejected(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        SSDLetProxy(app, mid, "idProducer", (0,))
+        yield from app.start()
+        try:
+            yield from app.start()
+        except PortConnectionError:
+            return "rejected"
+
+    assert system.run_fiber(program()) == "rejected"
+
+
+def test_wait_before_start_rejected(system, ssd):
+    load(system, ssd)
+    app = Application(ssd)
+    with pytest.raises(PortConnectionError):
+        system.run_fiber(app.wait())
+
+
+def test_add_proxy_after_start_rejected(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        SSDLetProxy(app, mid, "idProducer", (0,))
+        yield from app.start()
+        try:
+            SSDLetProxy(app, mid, "idConsumer")
+        except PortConnectionError:
+            return "rejected"
+
+    assert system.run_fiber(program()) == "rejected"
+
+
+def test_arg_type_validation(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        SSDLetProxy(app, mid, "idProducer", ("not an int",))
+        try:
+            yield from app.start()
+        except TypeMismatchError:
+            return "rejected"
+
+    assert system.run_fiber(program()) == "rejected"
+
+
+def test_host_to_device_port(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        consumer = SSDLetProxy(app, mid, "idConsumer")
+        port = app.connectFrom(int, consumer.in_(0))
+        yield from app.start()
+        for i in range(3):
+            yield from port.put(i)
+        port.close()
+        yield from app.wait()
+        return consumer.instance.received
+
+    assert system.run_fiber(program()) == [0, 1, 2]
+
+
+def test_inter_application_pipeline(system, ssd):
+    mid = load(system, ssd)
+
+    def real_program():
+        app1 = Application(ssd, "producer-app")
+        echo_app = Application(ssd, "echo-app")
+        echo = SSDLetProxy(echo_app, mid, "idPacketEcho")
+        feed = echo_app.connectFrom(Packet, echo.in_(0))
+        out = echo_app.connectTo(echo.out(0), Packet)
+        yield from echo_app.start()
+        yield from feed.put(Packet(b"ping"))
+        feed.close()
+        result = yield from out.get()
+        yield from echo_app.wait()
+        return result
+
+    assert system.run_fiber(real_program()) == Packet(b"ping")
+
+
+def test_cross_application_device_link(system, ssd):
+    """SSDlets of two applications linked by an inter-application port."""
+    mid = load(system, ssd)
+
+    def program():
+        app1 = Application(ssd, "a1")
+        app2 = Application(ssd, "a2")
+        producer = SSDLetProxy(app1, mid, "idProducer", (4,))
+        consumer = SSDLetProxy(app2, mid, "idConsumer")
+        # int link across applications (serializable type is allowed).
+        app1.connect(producer.out(0), consumer.in_(0))
+        yield from app1.start()
+        yield from app2.start()
+        yield from app1.wait()
+        yield from app2.wait()
+        return consumer.instance.received
+
+    assert system.run_fiber(program()) == [0, 1, 2, 3]
+
+
+def test_ssdlet_failure_propagates_to_wait(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        crasher = SSDLetProxy(app, mid, "idCrasher")
+        port = app.connectTo(crasher.out(0), int)
+        yield from app.start()
+        values = yield from port.drain()
+        try:
+            yield from app.wait()
+        except RuntimeError as exc:
+            return values, str(exc)
+
+    values, message = system.run_fiber(program())
+    assert values == [1]
+    assert message == "ssdlet crashed"
+
+
+def test_applications_round_robin_cores(system, ssd):
+    load(system, ssd)
+    apps = [Application(ssd) for _ in range(4)]
+    cores = [app.device_app.core for app in apps]
+    assert cores == [0, 1, 0, 1]

@@ -1,0 +1,75 @@
+"""Channel manager: control-call costs, data-channel pool."""
+
+from repro.core.channels import ChannelManager
+from repro.host.platform import System
+
+
+def make_manager():
+    system = System()
+    return system, ChannelManager(system.sim, system.cpu, system.device)
+
+
+def test_control_call_returns_device_work_value():
+    system, manager = make_manager()
+
+    def work():
+        yield system.sim.timeout(1000)
+        return "result"
+
+    assert system.run_fiber(manager.control_call(work())) == "result"
+    assert manager.control_calls == 1
+
+
+def test_control_call_cost_spans_both_directions():
+    system, manager = make_manager()
+    system.run_fiber(manager.control_call())
+    config = system.config
+    minimum = (config.h2d_host_sender_us + config.h2d_interface_us
+               + config.h2d_device_receiver_us + config.d2h_device_sender_us
+               + config.d2h_interface_us + config.d2h_host_receiver_us)
+    assert system.sim.now_us >= minimum
+
+
+def test_data_channel_pool_blocks_at_capacity():
+    system, manager = make_manager()
+    capacity = system.config.channel_pool_size
+    acquired = []
+
+    def taker(index):
+        yield from manager.acquire_data_channel()
+        acquired.append(index)
+
+    for index in range(capacity + 2):
+        system.sim.process(taker(index))
+    system.sim.run()
+    assert len(acquired) == capacity
+    manager.release_data_channel()
+    manager.release_data_channel()
+    system.sim.run()
+    # The two waiting takers complete once slots free up.
+    assert len(acquired) == capacity + 2
+
+
+def test_data_channel_release_unblocks_waiters():
+    system, manager = make_manager()
+    capacity = system.config.channel_pool_size
+    done = []
+
+    def taker(index, hold_ns):
+        yield from manager.acquire_data_channel()
+        yield system.sim.timeout(hold_ns)
+        manager.release_data_channel()
+        done.append(index)
+
+    for index in range(capacity + 3):
+        system.sim.process(taker(index, 1000))
+    system.sim.run()
+    assert len(done) == capacity + 3
+
+
+def test_interface_crossing_moves_bytes():
+    system, manager = make_manager()
+    system.run_fiber(manager.interface_crossing(4096, to_host=True))
+    assert system.device.interface.bytes_to_host == 4096
+    system.run_fiber(manager.interface_crossing(4096, to_host=False))
+    assert system.device.interface.bytes_to_device == 4096

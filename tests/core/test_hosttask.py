@@ -1,0 +1,255 @@
+"""Host-side tasks: the uniform task model across host and device."""
+
+from typing import Tuple
+
+import pytest
+
+from repro.core import SSD, Application, HostTask, HostTaskProxy, SSDLetProxy
+from repro.core.errors import PortClosed, TypeMismatchError
+from repro.core.ports import PortKind
+
+from tests.core.helpers import IMAGE_PATH, deploy
+
+
+@pytest.fixture
+def ssd(system):
+    deploy(system)
+    return SSD(system)
+
+
+def load(system, ssd):
+    return system.run_fiber(ssd.loadModule(IMAGE_PATH))
+
+
+class HostSum(HostTask):
+    """Sums its int input stream."""
+
+    IN_TYPES = (int,)
+
+    def run(self):
+        self.total = 0
+        while True:
+            try:
+                self.total += yield from self.in_(0).get()
+            except PortClosed:
+                return
+
+
+class HostEmitter(HostTask):
+    """Emits 0..count-1.  Args: (count,)."""
+
+    OUT_TYPES = (int,)
+    ARG_TYPES = (int,)
+
+    def run(self):
+        for value in range(self.arg(0)):
+            yield from self.out(0).put(value)
+
+
+class HostDoubler(HostTask):
+    IN_TYPES = (int,)
+    OUT_TYPES = (int,)
+
+    def run(self):
+        while True:
+            try:
+                value = yield from self.in_(0).get()
+            except PortClosed:
+                return
+            yield from self.compute(1.0)
+            yield from self.out(0).put(value * 2)
+
+
+def test_device_to_host_task(system, ssd):
+    """An SSDlet output feeds a HostTask input over a host-device port."""
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (5,))
+        summer = HostTaskProxy(app, HostSum)
+        app.connect(producer.out(0), summer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return summer.instance.total
+
+    assert system.run_fiber(program()) == 0 + 1 + 2 + 3 + 4
+
+
+def test_host_task_to_device(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        emitter = HostTaskProxy(app, HostEmitter, (4,))
+        consumer = SSDLetProxy(app, mid, "idConsumer")
+        app.connect(emitter.out(0), consumer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return consumer.instance.received
+
+    assert system.run_fiber(program()) == [0, 1, 2, 3]
+
+
+def test_host_local_pipeline(system, ssd):
+    load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        emitter = HostTaskProxy(app, HostEmitter, (3,))
+        doubler = HostTaskProxy(app, HostDoubler)
+        summer = HostTaskProxy(app, HostSum)
+        app.connect(emitter.out(0), doubler.in_(0))
+        app.connect(doubler.out(0), summer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return summer.instance.total
+
+    assert system.run_fiber(program()) == (0 + 1 + 2) * 2
+
+
+def test_hybrid_three_stage_pipeline(system, ssd):
+    """Device producer -> device doubler -> host sum: uniform wiring."""
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (4,))
+        doubler = SSDLetProxy(app, mid, "idDoubler")
+        summer = HostTaskProxy(app, HostSum)
+        app.connect(producer.out(0), doubler.in_(0))
+        app.connect(doubler.out(0), summer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return summer.instance.total
+
+    assert system.run_fiber(program()) == (0 + 1 + 2 + 3) * 2
+
+
+def test_link_kind_inference(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (1,))
+        emitter = HostTaskProxy(app, HostEmitter, (1,))
+        device_sink = SSDLetProxy(app, mid, "idConsumer")
+        host_sink = HostTaskProxy(app, HostSum)
+        app.connect(producer.out(0), host_sink.in_(0))
+        app.connect(emitter.out(0), device_sink.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return (
+            producer.instance.out(0).connection.kind,
+            emitter.instance.out(0).connection.kind,
+        )
+
+    d2h_kind, h2d_kind = system.run_fiber(program())
+    assert d2h_kind is PortKind.HOST_DEVICE
+    assert h2d_kind is PortKind.HOST_DEVICE
+
+
+def test_host_local_kind(system, ssd):
+    load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        emitter = HostTaskProxy(app, HostEmitter, (1,))
+        summer = HostTaskProxy(app, HostSum)
+        app.connect(emitter.out(0), summer.in_(0))
+        yield from app.start()
+        yield from app.wait()
+        return emitter.instance.out(0).connection.kind
+
+    assert system.run_fiber(program()) is PortKind.HOST_LOCAL
+
+
+def test_host_device_link_takes_a_data_channel(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        producer = SSDLetProxy(app, mid, "idProducer", (1,))
+        summer = HostTaskProxy(app, HostSum)
+        app.connect(producer.out(0), summer.in_(0))
+        before = ssd.channels.data_channels.in_use
+        yield from app.start()
+        during = ssd.channels.data_channels.in_use
+        yield from app.wait()
+        app.stop()
+        return before, during, ssd.channels.data_channels.in_use
+
+    before, during, after = system.run_fiber(program())
+    assert before == 0 and during == 1 and after == 0
+
+
+def test_host_task_type_checked(system, ssd):
+    load(system, ssd)
+    app = Application(ssd)
+    with pytest.raises(TypeMismatchError):
+        HostTaskProxy(app, str)  # not a HostTask
+
+
+def test_host_task_arg_validation(system, ssd):
+    load(system, ssd)
+
+    def program():
+        app = Application(ssd)
+        HostTaskProxy(app, HostEmitter, ("three",))
+        try:
+            yield from app.start()
+        except TypeMismatchError:
+            return "rejected"
+
+    assert system.run_fiber(program()) == "rejected"
+
+
+def test_host_task_type_mismatch_on_connect(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    source = SSDLetProxy(app, mid, "idStrSource")
+    summer = HostTaskProxy(app, HostSum)  # int input
+    with pytest.raises(TypeMismatchError):
+        app.connect(source.out(0), summer.in_(0))
+
+
+def test_host_task_reads_files_host_side(system, ssd):
+    load(system, ssd)
+    system.fs.install("/data/h.bin", b"host bytes")
+
+    class Reader(HostTask):
+        def run(self):
+            handle = self.open("/data/h.bin")
+            self.data = yield from handle.read(0, handle.size)
+
+    def program():
+        app = Application(ssd)
+        reader = HostTaskProxy(app, Reader)
+        yield from app.start()
+        yield from app.wait()
+        return reader.instance.data
+
+    assert system.run_fiber(program()) == b"host bytes"
+
+
+def test_host_local_latency_far_below_host_device(system, ssd):
+    """The same pipeline is much cheaper when both ends live on the host."""
+    mid = load(system, ssd)
+
+    def run_pipeline(local):
+        def program():
+            app = Application(ssd)
+            if local:
+                emitter = HostTaskProxy(app, HostEmitter, (50,))
+            else:
+                emitter = SSDLetProxy(app, mid, "idProducer", (50,))
+            summer = HostTaskProxy(app, HostSum)
+            app.connect(emitter.out(0), summer.in_(0))
+            start = system.sim.now
+            yield from app.start()
+            yield from app.wait()
+            return system.sim.now - start
+
+        return system.run_fiber(program())
+
+    assert run_pipeline(local=True) < run_pipeline(local=False)

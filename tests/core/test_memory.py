@@ -1,0 +1,146 @@
+"""Memory allocators: first-fit arena, coalescing, ownership isolation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.errors import MemoryQuotaError, SafetyViolation
+from repro.core.memory import AllocatorSet, Arena
+
+
+def test_alloc_free_basic():
+    arena = Arena(1024)
+    offset = arena.alloc(100)
+    assert arena.used >= 100
+    arena.free(offset)
+    assert arena.used == 0
+    assert arena.free_bytes == 1024
+
+
+def test_alloc_aligned():
+    arena = Arena(1024)
+    a = arena.alloc(1)
+    b = arena.alloc(1)
+    assert a % 16 == 0 and b % 16 == 0
+    assert b - a == 16
+
+
+def test_exhaustion_raises():
+    arena = Arena(128)
+    arena.alloc(100)
+    with pytest.raises(MemoryQuotaError):
+        arena.alloc(100)
+    assert arena.failed_allocs == 1
+
+
+def test_invalid_sizes():
+    arena = Arena(128)
+    with pytest.raises(ValueError):
+        arena.alloc(0)
+    with pytest.raises(ValueError):
+        Arena(0)
+
+
+def test_double_free_detected():
+    arena = Arena(256)
+    offset = arena.alloc(16)
+    arena.free(offset)
+    with pytest.raises(SafetyViolation):
+        arena.free(offset)
+
+
+def test_free_of_unallocated_offset():
+    arena = Arena(256)
+    with pytest.raises(SafetyViolation):
+        arena.free(64)
+
+
+def test_coalescing_allows_big_alloc_after_frees():
+    arena = Arena(256)
+    offsets = [arena.alloc(64) for _ in range(4)]
+    for offset in offsets:
+        arena.free(offset)
+    assert arena.largest_free_block == 256
+    arena.alloc(256)  # must succeed after full coalesce
+
+
+def test_fragmentation_metric():
+    arena = Arena(512)
+    offsets = [arena.alloc(64) for _ in range(8)]
+    for offset in offsets[::2]:  # free alternating blocks
+        arena.free(offset)
+    assert arena.external_fragmentation() > 0.5
+    for offset in offsets[1::2]:
+        arena.free(offset)
+    assert arena.external_fragmentation() == 0.0
+
+
+def test_ownership_enforced_on_free():
+    arena = Arena(256)
+    offset = arena.alloc(16, owner="ssdlet-a")
+    with pytest.raises(SafetyViolation):
+        arena.free(offset, owner="ssdlet-b")
+    assert arena.owner_of(offset) == "ssdlet-a"
+    arena.free(offset, owner="ssdlet-a")
+
+
+def test_free_owner_sweeps_everything():
+    arena = Arena(1024)
+    for _ in range(5):
+        arena.alloc(32, owner="dying")
+    keep = arena.alloc(32, owner="living")
+    assert arena.free_owner("dying") == 5
+    assert arena.owner_of(keep) == "living"
+
+
+def test_peak_tracking():
+    arena = Arena(1024)
+    a = arena.alloc(100)
+    b = arena.alloc(100)
+    arena.free(a)
+    arena.free(b)
+    assert arena.peak_used >= 208  # two aligned 100-byte blocks
+
+
+def test_allocator_set_isolation():
+    allocators = AllocatorSet(1024, 1024)
+    system_offset = allocators.system_alloc(64)
+    user_offset = allocators.user_alloc(64, owner="inst#1")
+    with pytest.raises(SafetyViolation):
+        allocators.user_free(user_offset, owner="inst#2")
+    with pytest.raises(SafetyViolation):
+        allocators.user_alloc(16, owner="<system>")
+    allocators.user_free(user_offset, owner="inst#1")
+    allocators.system_free(system_offset)
+
+
+def test_release_owner():
+    allocators = AllocatorSet(256, 1024)
+    for _ in range(3):
+        allocators.user_alloc(64, owner="app/task#7")
+    assert allocators.release_owner("app/task#7") == 3
+    assert allocators.user.used == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 200)),
+        st.tuples(st.just("free"), st.integers(0, 30)),
+    ),
+    max_size=80,
+))
+def test_property_arena_invariants(operations):
+    """Random alloc/free sequences never corrupt the free list."""
+    arena = Arena(4096)
+    live = []
+    for op, arg in operations:
+        if op == "alloc":
+            try:
+                live.append(arena.alloc(arg))
+            except MemoryQuotaError:
+                pass
+        elif live:
+            arena.free(live.pop(arg % len(live)))
+        arena.check_invariants()
+    assert arena.used + arena.free_bytes <= arena.size

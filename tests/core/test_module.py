@@ -1,0 +1,103 @@
+"""Module registry, image files, registration rules."""
+
+import pytest
+
+from repro.core.errors import ModuleError
+from repro.core.module import (
+    SSDletModule,
+    module_repository,
+    read_module_header,
+    register_ssdlet,
+    write_module_image,
+)
+from repro.core.ssdlet import SSDLet
+
+
+class Task(SSDLet):
+    def run(self):
+        yield self._runtime.sim.timeout(1)
+
+
+def test_register_and_lookup():
+    module = SSDletModule("test-reg-%d" % id(object()))
+    module.register("idTask", Task)
+    assert module.lookup("idTask") is Task
+
+
+def test_duplicate_registration_rejected():
+    module = SSDletModule("test-dup-%d" % id(object()))
+    module.register("idTask", Task)
+    with pytest.raises(ModuleError):
+        module.register("idTask", Task)
+
+
+def test_lookup_unknown_id():
+    module = SSDletModule("test-miss-%d" % id(object()))
+    with pytest.raises(ModuleError):
+        module.lookup("idNope")
+
+
+def test_class_without_run_rejected():
+    module = SSDletModule("test-norun-%d" % id(object()))
+
+    class NoRun:
+        pass
+
+    with pytest.raises(ModuleError):
+        module.register("idBad", NoRun)
+
+
+def test_decorator_form():
+    module = SSDletModule("test-deco-%d" % id(object()))
+
+    @register_ssdlet(module, "idDecorated")
+    class Decorated(SSDLet):
+        def run(self):
+            yield None
+
+    assert module.lookup("idDecorated") is Decorated
+
+
+def test_invalid_module_name():
+    with pytest.raises(ModuleError):
+        SSDletModule("")
+    with pytest.raises(ModuleError):
+        SSDletModule("two\nlines")
+
+
+def test_binary_size_grows_with_classes():
+    module = SSDletModule("test-size-%d" % id(object()))
+    empty = module.binary_size
+    module.register("idTask", Task)
+    assert module.binary_size > empty
+
+
+def test_explicit_binary_size():
+    module = SSDletModule("test-explicit-%d" % id(object()), binary_size=12345)
+    assert module.binary_size == 12345
+
+
+def test_repository_registration():
+    name = "test-repo-%d" % id(object())
+    module = SSDletModule(name)
+    assert module_repository()[name] is module
+
+
+def test_image_roundtrip(system):
+    name = "test-image-%d" % id(object())
+    module = SSDletModule(name)
+    module.register("idTask", Task)
+    inode = write_module_image(system.fs, "/mod.slet", module)
+    assert inode.size == module.binary_size
+    header = system.fs.read_range(inode, 0, 64)
+    assert read_module_header(header) == name
+
+
+def test_bad_image_rejected():
+    with pytest.raises(ModuleError):
+        read_module_header(b"ELF\x7f not an slet")
+
+
+def test_unknown_module_in_image():
+    with pytest.raises(ModuleError):
+        read_module_header(b"SLET1\nnever-compiled\n")

@@ -1,0 +1,187 @@
+"""Multi-user sessions: file isolation and memory quotas (Section VIII)."""
+
+import pytest
+
+from repro.core import SSD, SSDLetProxy
+from repro.core.errors import BiscuitError, MemoryQuotaError, ModuleError, SafetyViolation
+from repro.core.runtime import INSTANCE_BASE_BYTES
+from repro.sim.units import MIB
+
+from tests.core.helpers import IMAGE_PATH, deploy
+
+
+@pytest.fixture
+def ssd(system):
+    deploy(system)
+    return SSD(system)
+
+
+def load(system, ssd):
+    return system.run_fiber(ssd.loadModule(IMAGE_PATH))
+
+
+def test_session_creation(system, ssd):
+    session = ssd.create_session("alice", memory_quota=4 * MIB)
+    assert session.user == "alice"
+    assert session.memory_available == 4 * MIB
+
+
+def test_duplicate_session_rejected(system, ssd):
+    ssd.create_session("bob")
+    with pytest.raises(ModuleError):
+        ssd.create_session("bob")
+
+
+def test_invalid_session_params(system, ssd):
+    with pytest.raises(BiscuitError):
+        ssd.create_session("")
+    with pytest.raises(BiscuitError):
+        ssd.create_session("zero", memory_quota=0)
+
+
+def test_session_file_readable_within_session(system, ssd):
+    mid = load(system, ssd)
+    system.fs.install("/data/alice.bin", b"alice-data")
+    alice = ssd.create_session("alice")
+
+    def program():
+        app = alice.application("reader")
+        token = alice.file("/data/alice.bin")
+        reader = SSDLetProxy(app, mid, "idFileReader", (token,))
+        yield from app.start()
+        yield from app.wait()
+        return reader.instance.data
+
+    assert system.run_fiber(program()) == b"alice-data"
+
+
+def test_session_file_blocked_in_other_session(system, ssd):
+    """Cross-user token use is the integrity violation Section II-B forbids."""
+    mid = load(system, ssd)
+    system.fs.install("/data/alice.bin", b"alice-data")
+    alice = ssd.create_session("alice")
+    mallory = ssd.create_session("mallory")
+    token = alice.file("/data/alice.bin")
+
+    def program():
+        app = mallory.application("thief")
+        SSDLetProxy(app, mid, "idFileReader", (token,))
+        yield from app.start()
+        try:
+            yield from app.wait()
+        except SafetyViolation:
+            return "blocked"
+
+    assert system.run_fiber(program()) == "blocked"
+
+
+def test_session_token_blocked_outside_any_session(system, ssd):
+    mid = load(system, ssd)
+    system.fs.install("/data/alice.bin", b"alice-data")
+    alice = ssd.create_session("alice")
+    token = alice.file("/data/alice.bin")
+
+    from repro.core import Application
+
+    def program():
+        app = Application(ssd)  # session-less application
+        SSDLetProxy(app, mid, "idFileReader", (token,))
+        yield from app.start()
+        try:
+            yield from app.wait()
+        except SafetyViolation:
+            return "blocked"
+
+    assert system.run_fiber(program()) == "blocked"
+
+
+def test_global_grant_visible_inside_sessions(system, ssd):
+    mid = load(system, ssd)
+    system.fs.install("/data/shared.bin", b"shared")
+    shared = ssd.file("/data/shared.bin")  # SSD-level grant
+    alice = ssd.create_session("alice")
+
+    def program():
+        app = alice.application()
+        reader = SSDLetProxy(app, mid, "idFileReader", (shared,))
+        yield from app.start()
+        yield from app.wait()
+        return reader.instance.data
+
+    assert system.run_fiber(program()) == b"shared"
+
+
+def test_revoked_session_file_blocked(system, ssd):
+    mid = load(system, ssd)
+    system.fs.install("/data/a.bin", b"a")
+    alice = ssd.create_session("alice")
+    token = alice.file("/data/a.bin")
+    alice.revoke("/data/a.bin")
+
+    def program():
+        app = alice.application()
+        SSDLetProxy(app, mid, "idFileReader", (token,))
+        yield from app.start()
+        try:
+            yield from app.wait()
+        except SafetyViolation:
+            return "blocked"
+
+    assert system.run_fiber(program()) == "blocked"
+
+
+def test_instance_base_counts_against_quota(system, ssd):
+    mid = load(system, ssd)
+    alice = ssd.create_session("alice", memory_quota=2 * MIB)
+
+    def program():
+        app = alice.application()
+        SSDLetProxy(app, mid, "idAllocator")
+        yield from app.start()
+        used_during = alice.memory_used
+        yield from app.wait()
+        return used_during
+
+    used = system.run_fiber(program())
+    assert used >= INSTANCE_BASE_BYTES + 4096
+    assert alice.memory_used == 0  # refunded on teardown
+
+
+def test_quota_exceeded_raises(system, ssd):
+    mid = load(system, ssd)
+    # Quota fits the address-space floor but not the 4 KiB malloc.
+    tight = ssd.create_session("tight", memory_quota=INSTANCE_BASE_BYTES + 1024)
+
+    def program():
+        app = tight.application()
+        SSDLetProxy(app, mid, "idAllocator")
+        yield from app.start()
+        try:
+            yield from app.wait()
+        except MemoryQuotaError:
+            return "quota"
+
+    assert system.run_fiber(program()) == "quota"
+
+
+def test_sessions_do_not_share_quota(system, ssd):
+    mid = load(system, ssd)
+    alice = ssd.create_session("alice", memory_quota=1 * MIB)
+    bob = ssd.create_session("bob", memory_quota=1 * MIB)
+
+    def program():
+        apps = []
+        for session in (alice, bob):
+            app = session.application()
+            SSDLetProxy(app, mid, "idAllocator")
+            apps.append(app)
+        for app in apps:
+            yield from app.start()
+        snapshot = (alice.memory_used, bob.memory_used)
+        for app in apps:
+            yield from app.wait()
+        return snapshot
+
+    alice_used, bob_used = system.run_fiber(program())
+    assert alice_used > 0 and bob_used > 0
+    assert alice_used <= 1 * MIB and bob_used <= 1 * MIB

@@ -1,0 +1,80 @@
+"""SSDLet base-class API surface."""
+
+import pytest
+
+from repro.core import SSD, Application, SSDLet, SSDLetProxy
+from repro.core.errors import BiscuitError
+
+from tests.core.helpers import IMAGE_PATH, deploy
+
+
+@pytest.fixture
+def ssd(system):
+    deploy(system)
+    return SSD(system)
+
+
+def test_detached_ssdlet_rejects_resource_calls():
+    task = SSDLet()
+    with pytest.raises(BiscuitError):
+        next(task.compute(1.0))
+    with pytest.raises(BiscuitError):
+        next(task.open("/x"))
+    with pytest.raises(BiscuitError):
+        task.malloc(16)
+
+
+def test_run_must_be_overridden():
+    class Bare(SSDLet):
+        pass
+
+    with pytest.raises(NotImplementedError):
+        next(Bare().run())
+
+
+def test_instance_introspection(system, ssd):
+    mid = system.run_fiber(ssd.loadModule(IMAGE_PATH))
+
+    def program():
+        app = Application(ssd, "intro")
+        proxy = SSDLetProxy(app, mid, "idDoubler")
+        yield from app.start()
+        instance = proxy.instance
+        shape = (instance.num_in, instance.num_out, instance.args,
+                 instance.name)
+        # The doubler blocks on its never-wired input; cancel it.
+        app.stop()
+        yield system.sim.timeout(0)
+        return shape
+
+    num_in, num_out, args, name = system.run_fiber(program())
+    assert (num_in, num_out) == (1, 1)
+    assert args == ()
+    assert name.startswith("intro/idDoubler#")
+
+
+def test_yield_is_cooperative(system, ssd):
+    mid = system.run_fiber(ssd.loadModule(IMAGE_PATH))
+    order = []
+
+    def program():
+        app = Application(ssd, "yields")
+        proxy = SSDLetProxy(app, mid, "idAllocator")
+        yield from app.start()
+        instance = proxy.instance
+        def poker():
+            order.append("fiber-a")
+            yield from instance.yield_()
+            order.append("fiber-a-again")
+        def other():
+            order.append("fiber-b")
+            yield system.sim.timeout(0)
+        pa = system.sim.process(poker())
+        pb = system.sim.process(other())
+        yield pa
+        yield pb
+        yield from app.wait()
+
+    system.run_fiber(program())
+    # The explicit yield let fiber-b run between fiber-a's two steps.
+    assert order == ["fiber-a", "fiber-b", "fiber-a-again"]

@@ -1,0 +1,108 @@
+"""Executor edge cases: empty inputs, fallback paths, projections."""
+
+import pytest
+
+from repro.db.catalog import Column, TableSchema
+from repro.db.executor import ExecutionMode, Rel
+from repro.db.expr import col, eq, gt
+from repro.db.planner import create_engine
+from repro.db.storage import Database
+from repro.host.platform import System
+
+LEFT = TableSchema("lhs", [Column("l_id", "int"), Column("l_tag", "str")],
+                   primary_key=("l_id",))
+RIGHT = TableSchema("rhs", [Column("r_id", "int"), Column("r_val", "float")],
+                    primary_key=("r_id",))
+
+
+@pytest.fixture
+def engine():
+    system = System()
+    db = Database(system.fs)
+    db.load_table(LEFT, [(i, "tag%d" % (i % 3)) for i in range(30)])
+    db.load_table(RIGHT, [(i, float(i)) for i in range(30)])
+    return create_engine(system, db, ExecutionMode.CONV)
+
+
+def run(engine, fiber):
+    return engine.system.run_fiber(fiber)
+
+
+def test_cartesian_fallback_when_no_condition(engine):
+    joined = run(engine, engine.multi_join(
+        [engine.t("lhs", None, ["l_id"]), engine.t("rhs", None, ["r_id"])],
+        [],
+    ))
+    assert len(joined) == 30 * 30
+
+
+def test_join_with_empty_driving_rel(engine):
+    empty = Rel(["l_id"], [])
+    joined = run(engine, engine.join(empty, engine.t("rhs"), "l_id", "r_id"))
+    assert len(joined) == 0
+
+
+def test_join_filtered_to_empty(engine):
+    joined = run(engine, engine.multi_join(
+        [engine.t("lhs", eq(col("l_id"), -1), ["l_id"]),
+         engine.t("rhs", None, ["r_id", "r_val"])],
+        [("l_id", "r_id")],
+    ))
+    assert len(joined) == 0
+
+
+def test_aggregate_empty_input(engine):
+    empty = Rel(["g", "v"], [])
+    agg = run(engine, engine.aggregate(empty, ["g"], [("s", "sum", col("v"))]))
+    assert agg.rows == []
+
+
+def test_sort_empty(engine):
+    empty = Rel(["x"], [])
+    assert run(engine, engine.sort(empty, [("x", False)])).rows == []
+
+
+def test_filter_empty(engine):
+    empty = Rel(["x"], [])
+    assert run(engine, engine.filter(empty, gt(col("x"), 0))).rows == []
+
+
+def test_fetch_of_rel_passthrough(engine):
+    rel = Rel(["a"], [(1,)])
+    assert run(engine, engine.fetch(rel)) is rel
+
+
+def test_limit_without_sort_via_rows(engine):
+    rel = run(engine, engine.fetch(engine.t("lhs", None, ["l_id"])))
+    top = run(engine, engine.sort(rel, [("l_id", False)], limit=5))
+    assert len(top) == 5
+
+
+def test_join_projection_from_both_sides(engine):
+    lhs = run(engine, engine.fetch(engine.t("lhs", None, ["l_id", "l_tag"])))
+    joined = run(engine, engine.join(
+        lhs, engine.t("rhs", None, ["r_id", "r_val"]), "l_id", "r_id",
+        cols=["l_tag", "r_val"],
+    ))
+    assert joined.columns == ["l_tag", "r_val"]
+    assert len(joined) == 30
+
+
+def test_join_unknown_output_column(engine):
+    lhs = run(engine, engine.fetch(engine.t("lhs", None, ["l_id"])))
+    with pytest.raises(KeyError):
+        run(engine, engine.join(
+            lhs, engine.t("rhs", None, ["r_id"]), "l_id", "r_id",
+            cols=["nope"],
+        ))
+
+
+def test_distinct_on_empty(engine):
+    empty = Rel(["x"], [])
+    assert run(engine, engine.distinct(empty)).rows == []
+
+
+def test_biscuit_pages_equivalent_counts_results(engine):
+    engine.begin_query()
+    engine.ndp_result_bytes = engine.db.fs.page_size * 3
+    assert engine.biscuit_pages_equivalent == engine.host_pages_read + 3

@@ -1,0 +1,85 @@
+"""to_sql: rendering expressions back to parseable, equivalent SQL."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.expr import (
+    and_, between, col, compile_expr, eq, ge, gt, in_, le, like, lt, ne,
+    not_, or_,
+)
+from repro.db.sql import parse, to_sql
+
+POSITIONS = {"a": 0, "b": 1, "s": 2}
+
+
+def roundtrip_where(expr):
+    """Parse `SELECT a FROM t WHERE <rendered>` and return the WHERE tree."""
+    return parse("SELECT a FROM t WHERE " + to_sql(expr)).where
+
+
+def equivalent(original, reparsed, rows):
+    f = compile_expr(original, POSITIONS)
+    g = compile_expr(reparsed, POSITIONS)
+    return all(bool(f(row)) == bool(g(row)) for row in rows)
+
+
+ROWS = [
+    (0, 0.0, ""), (1, 1.5, "abc"), (5, -2.0, "hello world"),
+    (10, 3.25, "xyz"), (-3, 0.5, "a'b"),
+]
+
+
+def test_simple_comparisons_roundtrip():
+    for expr in (eq(col("a"), 5), ne(col("a"), 5), lt(col("b"), 1.5),
+                 le(col("a"), 0), gt(col("a"), -3), ge(col("b"), 0.0)):
+        assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+def test_logic_roundtrip():
+    expr = or_(and_(eq(col("a"), 1), gt(col("b"), 0.0)), eq(col("s"), "abc"))
+    assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+def test_not_roundtrip():
+    expr = not_(eq(col("a"), 5))
+    assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+def test_between_renders_half_open():
+    expr = between(col("a"), 0, 10)
+    text = to_sql(expr)
+    assert ">=" in text and "<" in text
+    assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+def test_in_and_like_roundtrip():
+    for expr in (in_(col("a"), (1, 5, 10)), like(col("s"), "he%o")):
+        assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+def test_string_quote_escaping():
+    expr = eq(col("s"), "a'b")
+    assert equivalent(expr, roundtrip_where(expr), ROWS)
+
+
+@st.composite
+def predicates(draw, depth=0):
+    if depth >= 2 or draw(st.booleans()):
+        column = draw(st.sampled_from(["a", "b"]))
+        op = draw(st.sampled_from([eq, ne, lt, le, gt, ge]))
+        value = draw(st.integers(-20, 20)) if column == "a" else \
+            draw(st.floats(-5, 5, allow_nan=False))
+        return op(col(column), value)
+    combiner = draw(st.sampled_from([and_, or_]))
+    left = draw(predicates(depth=depth + 1))
+    right = draw(predicates(depth=depth + 1))
+    if draw(st.booleans()):
+        left = not_(left)
+    return combiner(left, right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(predicates())
+def test_property_roundtrip_preserves_semantics(expr):
+    reparsed = roundtrip_where(expr)
+    assert equivalent(expr, reparsed, ROWS)

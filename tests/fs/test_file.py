@@ -1,0 +1,127 @@
+"""File handles: timed reads/writes, async I/O, flush, RMW edges."""
+
+import pytest
+
+from repro.fs.file import FileHandle
+from repro.fs.filesystem import FsError
+from repro.sim.engine import all_of
+
+
+def test_host_handle_requires_io(system):
+    inode = system.fs.install("/f", b"data")
+    with pytest.raises(ValueError):
+        FileHandle(system.fs, inode, internal=False)
+
+
+def test_read_returns_content_and_takes_time(system):
+    system.fs.install("/f", b"abcdef" * 1000)
+    handle = system.open_host("/f")
+
+    def program():
+        return (yield from handle.read(0, 12))
+
+    assert system.run_fiber(program()) == b"abcdef" * 2
+    assert system.sim.now > 0
+
+
+def test_internal_read_faster_than_host_read(system):
+    system.fs.install("/f", b"x" * 8192)
+    host = system.open_host("/f")
+    internal = system.open_internal("/f")
+
+    t0 = system.sim.now
+    system.run_fiber(host.read(0, 4096))
+    host_time = system.sim.now - t0
+    t0 = system.sim.now
+    system.run_fiber(internal.read(0, 4096))
+    internal_time = system.sim.now - t0
+    assert internal_time < host_time
+
+
+def test_async_reads_overlap(system):
+    system.fs.install_synthetic("/big", 64 * 1024 * 1024)
+    handle = system.open_internal("/big")
+
+    def sequential():
+        for i in range(8):
+            yield from handle.read_timing_only(i * 1 << 20, 1 << 20)
+
+    def overlapped():
+        events = [handle.aread_timing_only(i * 1 << 20, 1 << 20) for i in range(8)]
+        yield all_of(system.sim, events)
+
+    t0 = system.sim.now
+    system.run_fiber(sequential())
+    seq_time = system.sim.now - t0
+    t0 = system.sim.now
+    system.run_fiber(overlapped())
+    par_time = system.sim.now - t0
+    # A single large read already stripes over all channels, so sequential
+    # issue is near peak; overlap only hides per-command setup and pipeline
+    # fill — but it must still help.
+    assert par_time < 0.9 * seq_time
+
+
+def test_write_then_read_roundtrip(system):
+    system.fs.install("/w", b"\x00" * 8192)
+    handle = system.open_internal("/w")
+    system.run_fiber(handle.write(100, b"HELLO"))
+    assert system.run_fiber(handle.read(98, 9)) == b"\x00\x00HELLO\x00\x00"
+
+
+def test_write_extends_file(system):
+    system.fs.install("/w2", b"ab")
+    handle = system.open_internal("/w2")
+    system.run_fiber(handle.write(2, b"cdef"))
+    assert handle.size == 6
+    assert system.run_fiber(handle.read(0, 6)) == b"abcdef"
+
+
+def test_unaligned_write_preserves_neighbors(system):
+    payload = bytes(range(200)) * 50  # 10000 bytes, multi-page
+    system.fs.install("/rmw", payload)
+    handle = system.open_internal("/rmw")
+    system.run_fiber(handle.write(4090, b"XYZ"))  # straddles a page boundary
+    expected = payload[:4090] + b"XYZ" + payload[4093:]
+    assert system.run_fiber(handle.read(0, len(payload))) == expected
+
+
+def test_awrite_returns_event(system):
+    system.fs.install("/aw", b"\x00" * 4096)
+    handle = system.open_internal("/aw")
+
+    def program():
+        event = handle.awrite(0, b"async")
+        yield event
+        return (yield from handle.read(0, 5))
+
+    assert system.run_fiber(program()) == b"async"
+
+
+def test_write_to_synthetic_rejected(system):
+    system.fs.install_synthetic("/syn", 4096)
+    handle = system.open_internal("/syn")
+    with pytest.raises(FsError):
+        system.run_fiber(handle.write(0, b"nope"))
+
+
+def test_flush_runs(system):
+    system.fs.install("/fl", b"\x00" * 4096)
+    handle = system.open_internal("/fl")
+    system.run_fiber(handle.write(0, b"x"))
+    system.run_fiber(handle.flush())  # must not raise
+
+
+def test_host_write_path(system):
+    system.fs.install("/hw", b"\x00" * 4096)
+    handle = system.open_host("/hw")
+    system.run_fiber(handle.write(0, b"host"))
+    assert system.run_fiber(handle.read(0, 4)) == b"host"
+    assert system.io.writes >= 1
+
+
+def test_page_lpns_helper(system):
+    system.fs.install("/pl", b"x" * 10000)
+    handle = system.open_internal("/pl")
+    assert len(handle.page_lpns()) == 3
+    assert len(handle.page_lpns(0, 4096)) == 1

@@ -1,0 +1,140 @@
+"""Filesystem: namespace, extents, synthetic files, content assembly."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.filesystem import FsError
+from repro.host.platform import System
+
+
+def test_install_and_lookup(system):
+    inode = system.fs.install("/a.txt", b"hello world")
+    assert system.fs.exists("/a.txt")
+    assert system.fs.lookup("/a.txt") is inode
+    assert inode.size == 11
+    assert inode.num_pages == 1
+
+
+def test_lookup_missing_raises(system):
+    with pytest.raises(FsError):
+        system.fs.lookup("/missing")
+
+
+def test_duplicate_create_rejected(system):
+    system.fs.install("/dup", b"x")
+    with pytest.raises(FsError):
+        system.fs.install("/dup", b"y")
+
+
+def test_listdir_sorted(system):
+    for name in ("/b", "/a", "/c"):
+        system.fs.install(name, b"")
+    assert system.fs.listdir() == ["/a", "/b", "/c"]
+
+
+def test_multi_page_content_roundtrip(system):
+    payload = bytes(range(256)) * 64  # 16 KiB = 4 pages
+    inode = system.fs.install("/big", payload)
+    assert inode.num_pages == 4
+    assert system.fs.read_range(inode, 0, len(payload)) == payload
+
+
+def test_read_range_subsets(system):
+    payload = b"0123456789" * 1000
+    inode = system.fs.install("/r", payload)
+    assert system.fs.read_range(inode, 0, 10) == payload[:10]
+    assert system.fs.read_range(inode, 4090, 20) == payload[4090:4110]
+    assert system.fs.read_range(inode, len(payload) - 3, 3) == payload[-3:]
+    assert system.fs.read_range(inode, 5, 0) == b""
+
+
+def test_lpns_cover_byte_ranges(system):
+    inode = system.fs.install("/l", b"x" * 10000)  # 3 pages
+    assert len(inode.lpns(0, 10000)) == 3
+    assert len(inode.lpns(0, 4096)) == 1
+    assert len(inode.lpns(4095, 2)) == 2
+    assert inode.lpns(0, 0) == []
+
+
+def test_lpns_beyond_eof_rejected(system):
+    inode = system.fs.install("/e", b"x" * 100)
+    with pytest.raises(FsError):
+        inode.lpns(0, 101)
+    with pytest.raises(FsError):
+        inode.lpns(-1, 10)
+
+
+def test_delete_frees_and_reuses_extents(system):
+    system.fs.install("/victim", b"x" * 8192)
+    first_lpns = system.fs.lookup("/victim").all_lpns()
+    system.fs.delete("/victim")
+    assert not system.fs.exists("/victim")
+    inode = system.fs.install("/next", b"y" * 8192)
+    assert set(inode.all_lpns()) & set(first_lpns)
+
+
+def test_delete_clears_device_content(system):
+    inode = system.fs.install("/wipe", b"secret!!")
+    lpn = inode.all_lpns()[0]
+    system.fs.delete("/wipe")
+    assert system.fs.device.load_page(lpn)[:8] != b"secret!!"
+
+
+def test_synthetic_file_size_without_content(system):
+    inode = system.fs.install_synthetic("/huge", 1 << 32)  # 4 GiB
+    assert inode.size == 1 << 32
+    assert inode.synthetic
+    assert inode.num_pages == (1 << 32) // 4096
+
+
+def test_synthetic_needs_positive_size(system):
+    with pytest.raises(FsError):
+        system.fs.install_synthetic("/zero", 0)
+
+
+def test_synthetic_content_fn(system):
+    def page_fn(index):
+        return ("page-%d" % index).encode().ljust(4096, b".")
+
+    inode = system.fs.install_synthetic("/gen", 3 * 4096, content_fn=page_fn)
+    assert system.fs.page_content(inode, 2).startswith(b"page-2")
+    assert system.fs.read_range(inode, 4096, 6) == b"page-1"
+
+
+def test_synthetic_oversized_page_from_content_fn(system):
+    inode = system.fs.install_synthetic("/bad", 4096, content_fn=lambda i: b"x" * 5000)
+    with pytest.raises(FsError):
+        system.fs.page_content(inode, 0)
+
+
+def test_analytic_profile_recorded(system):
+    inode = system.fs.install_synthetic(
+        "/p", 4096, analytic_profile={b"key": 0.25}
+    )
+    assert inode.analytic_profile == {b"key": 0.25}
+    assert inode.synthetic
+
+
+def test_grow(system):
+    inode = system.fs.create_empty("/grow")
+    assert inode.size == 0
+    system.fs.grow(inode, 10000)
+    assert inode.size == 10000
+    assert inode.num_pages == 3
+    with pytest.raises(FsError):
+        system.fs.grow(inode, 5)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    payload=st.binary(min_size=1, max_size=20000),
+    offset_frac=st.floats(0.0, 1.0),
+    length_frac=st.floats(0.0, 1.0),
+)
+def test_property_read_range_matches_python_slicing(payload, offset_frac, length_frac):
+    system = System()
+    inode = system.fs.install("/prop", payload)
+    offset = int(offset_frac * (len(payload) - 1))
+    length = int(length_frac * (len(payload) - offset))
+    assert system.fs.read_range(inode, offset, length) == payload[offset:offset + length]

@@ -1,0 +1,158 @@
+"""Span tracer and utilization monitor."""
+
+import pytest
+
+from repro.instrument import SpanTracer, UtilizationMonitor
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB, s_to_ns
+
+
+# ------------------------------------------------------------------- spans
+def test_begin_end_records_duration():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def fiber():
+        tracer.begin("io", "read")
+        yield sim.timeout(1000)
+        tracer.end("io", "read")
+
+    sim.run(sim.process(fiber()))
+    (span,) = tracer.closed_spans()
+    assert span.duration_ns == 1000
+    assert tracer.total_ns("io") == 1000
+
+
+def test_double_begin_rejected():
+    tracer = SpanTracer(Simulator())
+    tracer.begin("t", "x")
+    with pytest.raises(ValueError):
+        tracer.begin("t", "x")
+
+
+def test_end_without_begin_rejected():
+    tracer = SpanTracer(Simulator())
+    with pytest.raises(ValueError):
+        tracer.end("t", "x")
+
+
+def test_open_span_duration_unavailable():
+    tracer = SpanTracer(Simulator())
+    span = tracer.begin("t", "x")
+    with pytest.raises(ValueError):
+        _ = span.duration_ns
+
+
+def test_span_wrapper_closes_on_exception():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def failing():
+        yield sim.timeout(5)
+        raise RuntimeError("x")
+
+    def outer():
+        try:
+            yield from tracer.span("t", "wrapped", failing())
+        except RuntimeError:
+            return "caught"
+
+    assert sim.run(sim.process(outer())) == "caught"
+    assert tracer.closed_spans()[0].duration_ns == 5
+
+
+def test_span_wrapper_returns_value():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def inner():
+        yield sim.timeout(1)
+        return 42
+
+    def outer():
+        value = yield from tracer.span("t", "v", inner())
+        return value
+
+    assert sim.run(sim.process(outer())) == 42
+
+
+def test_gantt_render():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def fiber():
+        tracer.begin("alpha", "one")
+        yield sim.timeout(500)
+        tracer.end("alpha", "one")
+        tracer.begin("beta", "two")
+        yield sim.timeout(500)
+        tracer.end("beta", "two")
+
+    sim.run(sim.process(fiber()))
+    chart = tracer.gantt(width=20)
+    lines = chart.splitlines()
+    assert lines[0].startswith("alpha")
+    assert "#" in lines[0] and "#" in lines[1]
+    # alpha occupies the first half, beta the second.
+    assert lines[0].index("#") < lines[1].index("#")
+
+
+def test_gantt_empty():
+    assert SpanTracer(Simulator()).gantt() == "(no spans)"
+
+
+# -------------------------------------------------------------- utilization
+def test_monitor_tracks_busy_resource(system):
+    monitor = UtilizationMonitor(system.sim, interval_s=0.001)
+    monitor.watch("host", [system.cpu.cores])
+    monitor.start()
+
+    def burn():
+        yield from system.cpu.occupy(20_000.0, memory_bound=False)  # 20 ms
+
+    system.run_fiber(burn())
+    system.sim.run(until=system.sim.now + s_to_ns(0.01))
+    monitor.stop()
+    assert monitor.peak("host") > 0.9 / system.cpu.cores.capacity
+    assert monitor.mean("host") > 0.0
+
+
+def test_monitor_for_system_groups(system):
+    monitor = UtilizationMonitor.for_system(system, interval_s=0.001)
+    assert set(monitor.series) == {"host-cores", "ssd-channels", "device-cores", "pcie"}
+
+
+def test_monitor_sees_ssd_activity(system):
+    system.fs.install_synthetic("/d", 64 * MIB)
+    handle = system.open_internal("/d")
+    monitor = UtilizationMonitor.for_system(system, interval_s=0.0005)
+    monitor.start()
+
+    def stream():
+        for i in range(8):
+            yield from handle.read_timing_only(i * 4 * MIB, 4 * MIB)
+
+    system.run_fiber(stream())
+    monitor.stop()
+    assert monitor.peak("ssd-channels") > 0.5
+    assert monitor.peak("pcie") == 0.0  # internal reads never cross PCIe
+
+
+def test_monitor_report_and_sparkline(system):
+    monitor = UtilizationMonitor(system.sim, interval_s=0.001)
+    monitor.watch("host", [system.cpu.cores])
+    monitor.start()
+    system.sim.run(until=s_to_ns(0.02))
+    monitor.stop()
+    report = monitor.report(width=10)
+    assert "host" in report and "mean" in report
+    assert len(monitor.sparkline("host", width=10)) == 10
+
+
+def test_monitor_cannot_watch_while_running(system):
+    monitor = UtilizationMonitor(system.sim)
+    monitor.watch("a", [system.cpu.cores])
+    monitor.start()
+    with pytest.raises(RuntimeError):
+        monitor.watch("b", [system.cpu.cores])
+    monitor.stop()

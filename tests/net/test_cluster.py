@@ -1,0 +1,119 @@
+"""Network links, storage nodes, scale-out strategies."""
+
+import pytest
+
+from repro.apps.scaleout_search import install_cluster_weblog, run_strategy
+from repro.net.cluster import NetworkLink, ScaleOutCluster
+from repro.sim.engine import Simulator, all_of
+from repro.sim.units import MIB
+
+
+# -------------------------------------------------------------------- links
+def test_link_serialization_time():
+    sim = Simulator()
+    link = NetworkLink(sim, bytes_per_sec=1e9, latency_us=0.0)
+    sim.run(sim.process(link.send(1_000_000)))
+    assert abs(sim.now_s - 0.001) < 1e-9
+
+
+def test_link_latency_added():
+    sim = Simulator()
+    link = NetworkLink(sim, bytes_per_sec=1e9, latency_us=50.0)
+    sim.run(sim.process(link.send(1000)))
+    assert sim.now_us >= 50.0
+
+
+def test_link_messages_serialize_but_latency_pipelines():
+    sim = Simulator()
+    link = NetworkLink(sim, bytes_per_sec=1e9, latency_us=100.0)
+    fibers = [sim.process(link.send(1_000_000)) for _ in range(4)]
+    sim.run(all_of(sim, fibers))
+    # 4 x 1ms serialization back to back + one trailing latency.
+    assert abs(sim.now_s - (0.004 + 100e-6)) < 1e-6
+    assert link.bytes_moved == 4_000_000
+
+
+def test_link_validation():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        NetworkLink(sim, bytes_per_sec=0)
+    with pytest.raises(ValueError):
+        NetworkLink(sim, latency_us=-1)
+
+
+# ------------------------------------------------------------------ cluster
+def test_cluster_wiring():
+    cluster = ScaleOutCluster(num_nodes=3, ssds_per_node=2)
+    assert cluster.num_nodes == 3
+    for node in cluster.nodes:
+        assert node.system.sim is cluster.sim
+        assert node.system.num_ssds == 2
+
+
+def test_cluster_needs_nodes():
+    with pytest.raises(ValueError):
+        ScaleOutCluster(num_nodes=0)
+
+
+def test_rpc_round_trip_costs_latency_twice():
+    cluster = ScaleOutCluster(num_nodes=1, link_latency_us=100.0)
+    node = cluster.nodes[0]
+
+    def work():
+        yield cluster.sim.timeout(0)
+        return "done"
+
+    value = cluster.run_fiber(node.serve(work(), 128, 128))
+    assert value == "done"
+    assert cluster.sim.now_us >= 200.0
+    assert node.rpcs_served == 1
+
+
+def test_fan_out_reaches_every_node():
+    cluster = ScaleOutCluster(num_nodes=4)
+
+    def make_work(node):
+        def work():
+            yield cluster.sim.timeout(1000)
+            return node.name
+
+        return work()
+
+    names = cluster.run_fiber(cluster.fan_out(make_work))
+    assert sorted(names) == ["node0", "node1", "node2", "node3"]
+
+
+# --------------------------------------------------------------- strategies
+@pytest.fixture(scope="module")
+def loaded_cluster():
+    cluster = ScaleOutCluster(num_nodes=2, ssds_per_node=2, node_cores=4)
+    install_cluster_weblog(cluster, 128 * MIB, "KEY")
+    return cluster
+
+
+def test_all_strategies_complete(loaded_cluster):
+    for strategy in ("pull", "node-compute", "in-ssd-ndp"):
+        _, elapsed = run_strategy(loaded_cluster, strategy, "KEY")
+        assert elapsed > 0
+
+
+def test_strategy_ordering(loaded_cluster):
+    _, pull_s = run_strategy(loaded_cluster, "pull", "KEY")
+    _, node_s = run_strategy(loaded_cluster, "node-compute", "KEY")
+    _, ndp_s = run_strategy(loaded_cluster, "in-ssd-ndp", "KEY")
+    assert pull_s > node_s > ndp_s
+
+
+def test_ndp_counts_deterministic(loaded_cluster):
+    first, _ = run_strategy(loaded_cluster, "in-ssd-ndp", "KEY")
+    second, _ = run_strategy(loaded_cluster, "in-ssd-ndp", "KEY")
+    assert first == second > 0
+
+
+def test_pull_is_link_bound():
+    slow = ScaleOutCluster(num_nodes=2, ssds_per_node=1,
+                           link_bytes_per_sec=0.5e9)
+    install_cluster_weblog(slow, 64 * MIB, "KEY")
+    _, elapsed = run_strategy(slow, "pull", "KEY")
+    rate = 64 * MIB / elapsed
+    assert rate <= 2 * 0.5e9 * 1.05

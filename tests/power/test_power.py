@@ -1,0 +1,80 @@
+"""Power meter: sampling, utilization windows, energy integration."""
+
+from repro.power.model import PowerMeter, PowerParams
+from repro.sim.units import MIB, s_to_ns
+
+
+def test_idle_system_draws_idle_power(system):
+    meter = PowerMeter(system, interval_s=0.01)
+    meter.start()
+    system.sim.run(until=s_to_ns(0.1))
+    meter.stop()
+    assert meter.series
+    for _, watts in meter.series:
+        assert abs(watts - meter.params.idle_w) < 0.01
+
+
+def test_host_work_raises_power(system):
+    meter = PowerMeter(system, interval_s=0.01)
+    meter.start()
+
+    def burn():
+        for _ in range(10):
+            yield from system.cpu.occupy(10_000.0, memory_bound=False)
+
+    system.run_fiber(burn())
+    meter.stop()
+    peak = max(watts for _, watts in meter.series)
+    assert abs(peak - (meter.params.idle_w + meter.params.host_core_w)) < 1.0
+
+
+def test_ssd_activity_raises_power(system):
+    system.fs.install_synthetic("/d", 64 * MIB)
+    handle = system.open_internal("/d")
+    meter = PowerMeter(system, interval_s=0.001)
+    meter.start()
+
+    def stream():
+        for i in range(16):
+            yield from handle.read_timing_only(i * 4 * MIB, 4 * MIB)
+
+    system.run_fiber(stream())
+    meter.stop()
+    peak = max(watts for _, watts in meter.series)
+    assert peak > meter.params.idle_w + 10
+
+
+def test_average_window(system):
+    meter = PowerMeter(system, interval_s=0.01)
+    meter.start()
+    system.sim.run(until=s_to_ns(0.05))
+    meter.stop()
+    assert abs(meter.average_w() - meter.params.idle_w) < 0.01
+    assert meter.average_w(10.0, 20.0) == meter.params.idle_w  # empty window
+
+
+def test_energy_integrates_power(system):
+    meter = PowerMeter(system, interval_s=0.01)
+    meter.start()
+    system.sim.run(until=s_to_ns(1.0))
+    meter.stop()
+    # Idle for 1 s at 103 W = 0.103 kJ.
+    assert abs(meter.energy_kj() - 0.103) < 0.002
+
+
+def test_meter_restart_is_safe(system):
+    meter = PowerMeter(system)
+    meter.start()
+    meter.start()
+    system.sim.run(until=s_to_ns(0.5))
+    meter.stop()
+    meter.stop()
+
+
+def test_custom_params(system):
+    params = PowerParams(idle_w=50.0)
+    meter = PowerMeter(system, params=params, interval_s=0.01)
+    meter.start()
+    system.sim.run(until=s_to_ns(0.05))
+    meter.stop()
+    assert abs(meter.average_w() - 50.0) < 0.01

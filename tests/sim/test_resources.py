@@ -1,0 +1,155 @@
+"""Counting resources and stores."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.resources import Resource, Store
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        Resource(Simulator(), capacity=0)
+
+
+def test_request_within_capacity_is_immediate():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+
+    def fiber():
+        yield resource.request()
+        yield resource.request()
+        return sim.now
+
+    assert sim.run(sim.process(fiber())) == 0
+    assert resource.in_use == 2
+    assert resource.available == 0
+
+
+def test_request_blocks_until_release():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    times = {}
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(100)
+        resource.release()
+
+    def waiter():
+        yield sim.timeout(1)
+        yield resource.request()
+        times["granted"] = sim.now
+        resource.release()
+
+    sim.process(holder())
+    sim.process(waiter())
+    sim.run()
+    assert times["granted"] == 100
+
+
+def test_fifo_grant_order():
+    sim = Simulator()
+    resource = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        yield resource.request()
+        yield sim.timeout(10)
+        resource.release()
+
+    def waiter(tag, delay):
+        yield sim.timeout(delay)
+        yield resource.request()
+        order.append(tag)
+        yield sim.timeout(5)
+        resource.release()
+
+    sim.process(holder())
+    for tag, delay in (("first", 1), ("second", 2), ("third", 3)):
+        sim.process(waiter(tag, delay))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_oversized_request_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    with pytest.raises(ValueError):
+        resource.request(3)
+
+
+def test_release_more_than_held_rejected():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    with pytest.raises(ValueError):
+        resource.release()
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+
+    def fiber():
+        yield resource.request()
+        yield sim.timeout(100)
+        resource.release()
+        yield sim.timeout(100)
+
+    sim.run(sim.process(fiber()))
+    # 1 of 2 units held for half the elapsed time: utilization 0.25.
+    assert abs(resource.utilization() - 0.25) < 1e-9
+    assert resource.busy_area() == 100
+
+
+def test_multi_unit_request():
+    sim = Simulator()
+    resource = Resource(sim, capacity=4)
+    log = []
+
+    def big():
+        yield resource.request(3)
+        log.append(("big", sim.now))
+        yield sim.timeout(50)
+        resource.release(3)
+
+    def small():
+        yield sim.timeout(1)
+        yield resource.request(2)
+        log.append(("small", sim.now))
+        resource.release(2)
+
+    sim.process(big())
+    sim.process(small())
+    sim.run()
+    assert log == [("big", 0), ("small", 50)]
+
+
+def test_store_put_then_get():
+    sim = Simulator()
+    store = Store(sim)
+    store.put("x")
+    assert len(store) == 1
+
+    def consumer():
+        return (yield store.get())
+
+    assert sim.run(sim.process(consumer())) == "x"
+
+
+def test_store_get_blocks_until_put():
+    sim = Simulator()
+    store = Store(sim)
+    result = {}
+
+    def consumer():
+        result["value"] = yield store.get()
+        result["time"] = sim.now
+
+    def producer():
+        yield sim.timeout(42)
+        store.put("late")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert result == {"value": "late", "time": 42}

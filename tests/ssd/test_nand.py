@@ -1,0 +1,81 @@
+"""NAND channel timing: sense/transfer pipeline, bus serialization."""
+
+import pytest
+
+from repro.sim.engine import Simulator, all_of
+from repro.sim.units import us_to_ns
+from repro.ssd.config import SSDConfig
+from repro.ssd.nand import Channel, NandArray
+
+
+def make_channel():
+    sim = Simulator()
+    config = SSDConfig()
+    return sim, config, Channel(sim, config, 0)
+
+
+def test_single_read_latency_decomposition():
+    sim, config, channel = make_channel()
+    sim.run(sim.process(channel.read(4096)))
+    expected = us_to_ns(config.nand_read_us) + round(4096 / config.channel_bytes_per_sec * 1e9)
+    assert sim.now == expected
+
+
+def test_read_size_bounds():
+    sim, config, channel = make_channel()
+    with pytest.raises(ValueError):
+        next(channel.read(0))
+    with pytest.raises(ValueError):
+        next(channel.read(config.physical_page_bytes + 1))
+
+
+def test_dies_pipeline_senses():
+    """With 4 dies, four concurrent reads overlap their tR phases."""
+    sim, config, channel = make_channel()
+    reads = [sim.process(channel.read(config.physical_page_bytes)) for _ in range(4)]
+    sim.run(all_of(sim, reads))
+    sense = us_to_ns(config.nand_read_us)
+    transfer = round(config.physical_page_bytes / config.channel_bytes_per_sec * 1e9)
+    # Senses overlap; the four transfers serialize on the one channel bus.
+    assert sim.now < 4 * (sense + transfer)
+    assert sim.now >= sense + 4 * transfer
+
+
+def test_fifth_read_waits_for_a_die():
+    sim, config, channel = make_channel()
+    reads = [sim.process(channel.read(4096)) for _ in range(5)]
+    sim.run(all_of(sim, reads))
+    # Five reads on four dies: the fifth needs a second sense round.
+    assert sim.now > 2 * us_to_ns(config.nand_read_us)
+
+
+def test_program_timing():
+    sim, config, channel = make_channel()
+    sim.run(sim.process(channel.program(config.physical_page_bytes)))
+    expected = (round(config.physical_page_bytes / config.channel_bytes_per_sec * 1e9)
+                + us_to_ns(config.nand_program_us))
+    assert sim.now == expected
+    assert channel.programs == 1
+
+
+def test_erase_timing():
+    sim, config, channel = make_channel()
+    sim.run(sim.process(channel.erase()))
+    assert sim.now == us_to_ns(config.nand_erase_us)
+    assert channel.erases == 1
+
+
+def test_counters():
+    sim, config, channel = make_channel()
+    sim.run(sim.process(channel.read(4096)))
+    assert channel.reads == 1
+    assert channel.bytes_read == 4096
+
+
+def test_array_aggregates():
+    sim = Simulator()
+    config = SSDConfig(channels=4)
+    array = NandArray(sim, config)
+    assert len(array) == 4
+    sim.run(sim.process(array[2].read(4096)))
+    assert array.bytes_read == 4096

@@ -1,0 +1,121 @@
+"""Pattern matcher IP: key limits, exact matching, analytic determinism."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ssd.config import SSDConfig
+from repro.ssd.pattern_matcher import KeyError16, MatchResult, PatternMatcher
+
+
+def matcher():
+    return PatternMatcher(SSDConfig(), channel_index=0)
+
+
+# ---------------------------------------------------------------- key limits
+def test_at_most_three_keys():
+    with pytest.raises(KeyError16):
+        matcher().validate_keys([b"a", b"b", b"c", b"d"])
+
+
+def test_key_length_limit_16_bytes():
+    matcher().validate_keys([b"x" * 16])  # exactly at the limit
+    with pytest.raises(KeyError16):
+        matcher().validate_keys([b"x" * 17])
+
+
+def test_empty_key_rejected():
+    with pytest.raises(KeyError16):
+        matcher().validate_keys([b""])
+
+
+def test_no_keys_rejected():
+    with pytest.raises(KeyError16):
+        matcher().validate_keys([])
+
+
+def test_non_bytes_key_rejected():
+    with pytest.raises(KeyError16):
+        matcher().validate_keys(["string"])
+
+
+# ---------------------------------------------------------------- exact mode
+def test_exact_counts_occurrences():
+    result = matcher().match_bytes(0, b"xx NEEDLE yy NEEDLE zz", [b"NEEDLE"])
+    assert result.matched
+    assert result.count(b"NEEDLE") == 2
+    assert result.total_hits == 2
+
+
+def test_exact_miss():
+    result = matcher().match_bytes(3, b"nothing here", [b"NEEDLE"])
+    assert not result.matched
+    assert result.total_hits == 0
+    assert result.page_index == 3
+
+
+def test_exact_multiple_keys_or_semantics():
+    result = matcher().match_bytes(0, b"alpha beta", [b"beta", b"gamma"])
+    assert result.matched
+    assert result.count(b"beta") == 1
+    assert result.count(b"gamma") == 0
+
+
+def test_exact_overlapping_occurrences():
+    # bytes.count is non-overlapping — matches real scanners.
+    result = matcher().match_bytes(0, b"aaaa", [b"aa"])
+    assert result.count(b"aa") == 2
+
+
+def test_scan_statistics():
+    m = matcher()
+    m.match_bytes(0, b"NEEDLE", [b"NEEDLE"])
+    m.match_bytes(1, b"nope", [b"NEEDLE"])
+    assert m.pages_scanned == 2
+    assert m.pages_matched == 1
+
+
+# ------------------------------------------------------------- analytic mode
+def test_analytic_deterministic():
+    m1, m2 = matcher(), matcher()
+    results_1 = [m1.match_page_analytic(i, [b"k"], {b"k": 0.3}, seed=9).matched
+                 for i in range(200)]
+    results_2 = [m2.match_page_analytic(i, [b"k"], {b"k": 0.3}, seed=9).matched
+                 for i in range(200)]
+    assert results_1 == results_2
+
+
+def test_analytic_rate_tracks_probability():
+    m = matcher()
+    hits = sum(
+        m.match_page_analytic(i, [b"k"], {b"k": 0.25}, seed=1).matched
+        for i in range(2000)
+    )
+    assert 0.20 < hits / 2000 < 0.30
+
+
+def test_analytic_zero_and_one():
+    m = matcher()
+    assert not m.match_page_analytic(0, [b"k"], {b"k": 0.0}).matched
+    assert m.match_page_analytic(0, [b"k"], {b"k": 1.0}).matched
+
+
+def test_analytic_unknown_key_never_matches():
+    m = matcher()
+    assert not m.match_page_analytic(0, [b"k"], {}).matched
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    page=st.integers(0, 10_000),
+    low=st.floats(0.0, 0.5),
+    delta=st.floats(0.0, 0.5),
+)
+def test_property_analytic_monotone_in_probability(page, low, delta):
+    """If a page matches at probability p, it matches at any p' >= p."""
+    m = matcher()
+    high = min(1.0, low + delta)
+    at_low = m.match_page_analytic(page, [b"k"], {b"k": low}, seed=4).matched
+    at_high = m.match_page_analytic(page, [b"k"], {b"k": high}, seed=4).matched
+    if at_low:
+        assert at_high
