@@ -1,0 +1,19 @@
+PYTHON ?= python
+PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test test-fast test-faults bench
+
+# The full tier-1 suite (what CI runs on every push).
+test:
+	$(PYTEST) -q
+
+# Everything except the slower integration sweeps.
+test-fast:
+	$(PYTEST) -q --ignore=tests/integration
+
+# Opt-in fault-injection soak: the long differential sweeps marked `faults`.
+test-faults:
+	$(PYTEST) -q -m faults
+
+bench:
+	PYTHONPATH=src $(PYTHON) -m repro.bench

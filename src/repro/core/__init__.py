@@ -12,27 +12,29 @@ dynamic module loading and system/user memory allocators.
 Both sides share the typed port model of Section III-C: inter-SSDlet ports
 (general types, SPSC/SPMC/MPSC), host-to-device ports and inter-application
 ports (Packet only, SPSC only), all implemented as bounded queues.
+
+The heavyweight names are loaded lazily (PEP 562) so that low-level modules
+(``repro.ssd.nand``, ``repro.ssd.ftl``) can import the leaf
+:mod:`repro.core.errors` without dragging the whole runtime — and its
+imports of the fs/ssd layers — into a circular import.
 """
 
-from repro.core.application import Application, SSDLetProxy
-from repro.core.hostlet import HostTask, HostTaskProxy
+import importlib
+
 from repro.core.errors import (
     BiscuitError,
+    DeviceError,
+    EccError,
     MemoryQuotaError,
     ModuleError,
     NotSerializableError,
+    OutOfSpaceError,
     PortClosed,
     PortConnectionError,
     SafetyViolation,
     TypeMismatchError,
+    UncorrectableReadError,
 )
-from repro.core.module import SSDletModule, register_ssdlet, write_module_image
-from repro.core.ports import PortKind
-from repro.core.runtime import BiscuitRuntime
-from repro.core.session import SessionFile, UserSession
-from repro.core.ssd_api import SSD, DeviceFile
-from repro.core.ssdlet import SSDLet
-from repro.core.types import Packet, deserialize, is_serializable, serialize
 
 __all__ = [
     "SSD",
@@ -61,4 +63,42 @@ __all__ = [
     "ModuleError",
     "MemoryQuotaError",
     "SafetyViolation",
+    "DeviceError",
+    "EccError",
+    "UncorrectableReadError",
+    "OutOfSpaceError",
 ]
+
+_LAZY = {
+    "Application": "repro.core.application",
+    "SSDLetProxy": "repro.core.application",
+    "HostTask": "repro.core.hostlet",
+    "HostTaskProxy": "repro.core.hostlet",
+    "SSDletModule": "repro.core.module",
+    "register_ssdlet": "repro.core.module",
+    "write_module_image": "repro.core.module",
+    "PortKind": "repro.core.ports",
+    "BiscuitRuntime": "repro.core.runtime",
+    "SessionFile": "repro.core.session",
+    "UserSession": "repro.core.session",
+    "SSD": "repro.core.ssd_api",
+    "DeviceFile": "repro.core.ssd_api",
+    "SSDLet": "repro.core.ssdlet",
+    "Packet": "repro.core.types",
+    "deserialize": "repro.core.types",
+    "is_serializable": "repro.core.types",
+    "serialize": "repro.core.types",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError("module %r has no attribute %r" % (__name__, name))
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value  # cache: next access skips __getattr__
+    return value
+
+
+def __dir__():
+    return sorted(set(__all__) | set(globals()))

@@ -16,6 +16,10 @@ __all__ = [
     "ModuleError",
     "MemoryQuotaError",
     "SafetyViolation",
+    "DeviceError",
+    "EccError",
+    "UncorrectableReadError",
+    "OutOfSpaceError",
 ]
 
 
@@ -51,3 +55,58 @@ class MemoryQuotaError(BiscuitError, MemoryError):
 class SafetyViolation(BiscuitError):
     """User code attempted an operation the runtime forbids (e.g. touching
     system-allocator memory or a file it was not granted)."""
+
+
+class DeviceError(BiscuitError):
+    """A media/controller-level failure, carrying device context.
+
+    Context fields (``channel``, ``die``, ``block``, ``page``, ``lpn``) are
+    optional keyword arguments; whichever are known at the raise site are
+    recorded and rendered into the message, so a failure deep in a stripe
+    fiber still names the physical location once it reaches the host.
+    """
+
+    _CONTEXT_FIELDS = ("channel", "die", "block", "page", "lpn")
+
+    def __init__(self, message: str, *, channel: int = None, die: int = None,
+                 block: int = None, page: int = None, lpn: int = None):
+        self.channel = channel
+        self.die = die
+        self.block = block
+        self.page = page
+        self.lpn = lpn
+        context = self.context()
+        if context:
+            rendered = ", ".join("%s=%s" % (k, v) for k, v in context.items())
+            message = "%s [%s]" % (message, rendered)
+        super().__init__(message)
+
+    def context(self) -> dict:
+        """The known device-location fields, in a fixed order."""
+        return {
+            name: getattr(self, name)
+            for name in self._CONTEXT_FIELDS
+            if getattr(self, name) is not None
+        }
+
+
+class EccError(DeviceError):
+    """A page read failed ECC decode.
+
+    Transient: the controller retries the sense (with backoff) up to
+    ``SSDConfig.read_retry_limit`` times before escalating to
+    :class:`UncorrectableReadError`.
+    """
+
+
+class UncorrectableReadError(DeviceError):
+    """A page read failed beyond what retries can recover.
+
+    Terminal for the request: propagates through the controller, the
+    filesystem and — for offloaded work — the SSDlet/port machinery back to
+    the waiting host fiber.
+    """
+
+
+class OutOfSpaceError(DeviceError):
+    """The device has no free block to allocate (even after GC)."""

@@ -238,6 +238,10 @@ class Engine:
             length = min(take * page_size, storage.inode.size - offset_pages * page_size)
             if pending is None:
                 pending = handle.aread_timing_only(offset_pages * page_size, length)
+                # The read may fail (e.g. UncorrectableReadError under fault
+                # injection) while this fiber is busy elsewhere; defusing lets
+                # the failure wait until the yield below rethrows it here.
+                pending.defused = True
             yield pending
             self.host_pages_read += take
             next_offset = offset_pages + take
@@ -245,6 +249,7 @@ class Engine:
                 ntake = min(chunk_pages, num_pages - next_offset)
                 nlength = min(ntake * page_size, storage.inode.size - next_offset * page_size)
                 pending = handle.aread_timing_only(next_offset * page_size, nlength)
+                pending.defused = True  # failure surfaces at the next yield
             else:
                 pending = None
             # CPU: decode + filter + project every row of the chunk.

@@ -170,16 +170,20 @@ class NDPContext:
             proxy = SSDLetProxy(app, mid, "idScanFilter", (token, job))
             ports.append(app.connectTo(proxy.out(0), Packet))
         yield from app.start()
-        rows: List[tuple] = []
-        for port in ports:
-            while True:
-                packet = yield from port.get_opt()
-                if packet is None:
-                    break
-                engine.ndp_result_bytes += len(packet)
-                rows.extend(pickle.loads(packet.payload))
-        yield from app.wait()
-        app.stop()  # release the data channels back to the pool
+        try:
+            rows: List[tuple] = []
+            for port in ports:
+                while True:
+                    packet = yield from port.get_opt()
+                    if packet is None:
+                        break
+                    engine.ndp_result_bytes += len(packet)
+                    rows.extend(pickle.loads(packet.payload))
+            # Re-raises any SSDlet failure (e.g. an UncorrectableReadError
+            # from the device) into this host fiber.
+            yield from app.wait()
+        finally:
+            app.stop()  # release the data channels back to the pool
         engine.ndp_scans += 1
         return Rel(out_cols, rows)
 
@@ -344,15 +348,17 @@ class NDPContextAggregateMixin:
             proxy = SSDLetProxy(app, mid, "idScanAggregate", (token, job))
             ports.append(app.connectTo(proxy.out(0), Packet))
         yield from app.start()
-        totals: dict = {}
-        for port in ports:
-            packet = yield from port.get_opt()
-            if packet is None:
-                continue
-            engine.ndp_result_bytes += len(packet)
-            _merge_states(totals, pickle.loads(packet.payload), kinds)
-        yield from app.wait()
-        app.stop()
+        try:
+            totals: dict = {}
+            for port in ports:
+                packet = yield from port.get_opt()
+                if packet is None:
+                    continue
+                engine.ndp_result_bytes += len(packet)
+                _merge_states(totals, pickle.loads(packet.payload), kinds)
+            yield from app.wait()
+        finally:
+            app.stop()
         engine.ndp_scans += 1
         out_rows = []
         for key, state in totals.items():

@@ -114,7 +114,12 @@ class NDPPlanner:
         events = []
         for page_no in pages:
             length = min(page_size, storage.inode.size - page_no * page_size)
-            events.append(handle.aread_timing_only(page_no * page_size, length))
+            event = handle.aread_timing_only(page_no * page_size, length)
+            # A burst member may fail before its turn in the drain loop below;
+            # defusing keeps that from aborting the whole simulation — the
+            # failure is rethrown here when the event is yielded.
+            event.defused = True
+            events.append(event)
             engine.host_pages_read += 1
             self.sampled_pages += 1
         for event in events:

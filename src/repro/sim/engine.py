@@ -53,7 +53,8 @@ class Event:
     them to *trigger* (run callbacks) at the current simulation time.
     """
 
-    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_scheduled", "_processed", "defused")
+    __slots__ = ("sim", "_callbacks", "_value", "_exception", "_scheduled", "_processed", "defused",
+                 "abandoned")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -63,6 +64,10 @@ class Event:
         self._scheduled = False
         self._processed = False
         self.defused = False
+        # Set when the sole waiter was interrupted away from this event;
+        # grant queues (Resource, Store) drop abandoned requests instead of
+        # granting to a fiber that is no longer listening.
+        self.abandoned = False
 
     @property
     def triggered(self) -> bool:
@@ -191,6 +196,10 @@ class Process(Event):
         if target is None:
             self._pending_interrupt = Interrupt(cause)
             return
+        if not target.triggered:
+            # Request events (Resource/Store) are single-waiter: flag the
+            # abandonment so pending grants are not burned on this fiber.
+            target.abandoned = True
         self._waiting_on = None
         interrupt_event = Event(self.sim)
         interrupt_event.defused = True

@@ -72,6 +72,9 @@ class Resource:
     def _grant(self) -> None:
         while self._waiters:
             event, units = self._waiters[0]
+            if event.abandoned:  # requester was interrupted while queued
+                self._waiters.popleft()
+                continue
             if self._in_use + units > self.capacity:
                 break
             self._waiters.popleft()
@@ -106,10 +109,12 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
-        if self._getters:
-            self._getters.popleft().succeed(item)
-        else:
-            self._items.append(item)
+        while self._getters:
+            getter = self._getters.popleft()
+            if not getter.abandoned:  # skip getters interrupted while queued
+                getter.succeed(item)
+                return
+        self._items.append(item)
 
     def get(self) -> Event:
         event = Event(self.sim)

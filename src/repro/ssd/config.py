@@ -51,6 +51,11 @@ class SSDConfig:
     # --------------------------------------------------- controller / firmware
     firmware_read_overhead_us: float = 7.9  # per-command FTL/dispatch cost
     firmware_write_overhead_us: float = 9.5
+    # Read-retry policy: an ECC-failed sense is retried up to this many extra
+    # times, waiting attempt * read_retry_backoff_us before each retry
+    # (modeling read-retry voltage shifts on real NAND).
+    read_retry_limit: int = 3
+    read_retry_backoff_us: float = 40.0
     device_cores: int = 2  # ARM Cortex R7 cores available to Biscuit (Table I)
     device_core_mhz: float = 750.0
     # Effective software data-processing rate of the device cores.  Two
@@ -138,3 +143,7 @@ class SSDConfig:
             raise ValueError("overprovision_ratio out of range")
         if self.matcher_max_keys < 1:
             raise ValueError("pattern matcher needs at least one key slot")
+        if self.read_retry_limit < 0:
+            raise ValueError("read_retry_limit cannot be negative")
+        if self.read_retry_backoff_us < 0:
+            raise ValueError("read_retry_backoff_us cannot be negative")

@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Generator, List, Optional, Sequence, Tuple
 
+from repro.core.errors import EccError, UncorrectableReadError
 from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.units import us_to_ns
@@ -35,6 +36,9 @@ class ReadStats:
         self.logical_pages_read = 0
         self.logical_pages_written = 0
         self.matcher_commands = 0
+        self.read_retries = 0
+        self.recovered_reads = 0
+        self.unrecoverable_reads = 0
 
     @property
     def bytes_read(self) -> int:
@@ -114,15 +118,15 @@ class Controller:
         if len(stripes) == 1:
             # Fast path: single-stripe commands (point reads, index probes)
             # run inline — no fan-out fibers to spawn or join.
-            channel_index, _physical, slot_count = stripes[0]
-            yield from self._read_stripe(channel_index, slot_count, use_matcher)
+            channel_index, physical, slot_count = stripes[0]
+            yield from self._read_stripe(channel_index, physical, slot_count, use_matcher)
         else:
             ops = [
                 self.sim.process(
-                    self._read_stripe(channel_index, slot_count, use_matcher),
+                    self._read_stripe(channel_index, physical, slot_count, use_matcher),
                     name="stripe ch%d" % channel_index,
                 )
-                for channel_index, _physical, slot_count in stripes
+                for channel_index, physical, slot_count in stripes
             ]
             yield all_of(self.sim, ops)
         self.stats.read_commands += 1
@@ -130,13 +134,38 @@ class Controller:
         if use_matcher:
             self.stats.matcher_commands += 1
 
-    def _read_stripe(self, channel_index: int, slot_count: int, use_matcher: bool) -> Generator:
+    def _read_stripe(self, channel_index: int, physical_page: int,
+                     slot_count: int, use_matcher: bool) -> Generator:
         dispatch_us = self.STRIPE_DISPATCH_US
         if use_matcher:
             dispatch_us += self.config.matcher_control_us_per_stripe
         yield from self._occupy_core(dispatch_us)
         transfer = slot_count * self.config.logical_page_bytes
-        yield from self.nand[channel_index].read(transfer)
+        attempt = 0
+        while True:
+            try:
+                yield from self.nand[channel_index].read(
+                    transfer, physical_page=physical_page)
+            except EccError as exc:
+                attempt += 1
+                self.stats.read_retries += 1
+                if attempt > self.config.read_retry_limit:
+                    self.stats.unrecoverable_reads += 1
+                    raise UncorrectableReadError(
+                        "read retries exhausted after %d attempts" % attempt,
+                        channel=channel_index, page=physical_page) from exc
+                # Read-retry with a shifted sense voltage; each pass waits a
+                # little longer before hitting the die again.
+                backoff_us = self.config.read_retry_backoff_us * attempt
+                if backoff_us > 0:
+                    yield self.sim.timeout(us_to_ns(backoff_us))
+            except UncorrectableReadError:
+                self.stats.unrecoverable_reads += 1
+                raise
+            else:
+                if attempt:
+                    self.stats.recovered_reads += 1
+                return
 
     # ----------------------------------------------------------------- write
     def write_pages(self, lpns: Sequence[int]) -> Generator:

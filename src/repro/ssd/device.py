@@ -89,6 +89,14 @@ class SSDDevice:
         yield from self.interface.transfer_to_device(total)
         yield from self.controller.write_pages(lpns)
 
+    # --------------------------------------------------------------- faults
+    def attach_fault_injector(self, injector) -> None:
+        """Install (or clear, with ``None``) a fault injector on all channels.
+
+        See :class:`repro.testing.faults.FaultInjector`.
+        """
+        self.nand.attach_injector(injector)
+
     # --------------------------------------------------------------- matching
     def matcher_for_lpn(self, lpn: int) -> PatternMatcher:
         channel, _physical = self.controller.placement(lpn)

@@ -19,15 +19,17 @@ from __future__ import annotations
 from collections import deque
 from typing import Dict, Generator, List, NamedTuple, Optional
 
+from repro.core.errors import EccError, OutOfSpaceError, UncorrectableReadError
 from repro.sim.engine import Simulator, all_of
+from repro.sim.units import us_to_ns
 from repro.ssd.config import SSDConfig
 from repro.ssd.nand import NandArray
 
 __all__ = ["FTL", "PhysAddr", "OutOfSpace"]
 
-
-class OutOfSpace(Exception):
-    """The device has no free block to allocate (even after GC)."""
+#: Backward-compatible name: allocation failures now raise the typed
+#: :class:`repro.core.errors.OutOfSpaceError` (with device context).
+OutOfSpace = OutOfSpaceError
 
 
 class PhysAddr(NamedTuple):
@@ -164,7 +166,8 @@ class FTL:
 
     def _allocate_block(self, die: _Die) -> _Block:
         if not die.free:
-            raise OutOfSpace("die (%d,%d) has no free blocks" % (die.channel, die.die))
+            raise OutOfSpaceError("no free blocks to allocate",
+                                  channel=die.channel, die=die.die)
         # Wear leveling: pick the least-erased free block.
         best = min(die.free, key=lambda block: block.erase_count)
         die.free.remove(best)
@@ -214,9 +217,8 @@ class FTL:
             if victim is None:
                 if die.free:
                     return  # nothing reclaimable but not wedged yet
-                raise OutOfSpace(
-                    "die (%d,%d): no GC victim and no free blocks" % (die.channel, die.die)
-                )
+                raise OutOfSpaceError("no GC victim and no free blocks",
+                                      channel=die.channel, die=die.die)
             yield from self._collect(die, victim)
 
     def _pick_victim(self, die: _Die) -> Optional[_Block]:
@@ -237,11 +239,17 @@ class FTL:
         self.gc_runs += 1
         channel = self.nand[die.channel]
         live: List[int] = []
-        for page_slots in victim.slots:
+        for page_index, page_slots in enumerate(victim.slots):
             page_live = [lpn for lpn in page_slots if lpn is not None]
             if page_live:
                 # One media read per physical page holding live data.
-                yield from channel.read(len(page_live) * self.config.logical_page_bytes)
+                physical = (
+                    (die.die * self.config.blocks_per_die + victim.index)
+                    * self.config.pages_per_block + page_index
+                )
+                yield from self._gc_read(
+                    channel, len(page_live) * self.config.logical_page_bytes,
+                    physical, die, victim, page_index)
                 live.extend(page_live)
         for lpn in live:
             # The slot is consumed by relocation; clear it from the victim.
@@ -254,3 +262,32 @@ class FTL:
         yield from channel.erase()
         victim.wipe(self.config.pages_per_block, self.config.logical_pages_per_physical)
         die.free.append(victim)
+
+    def _gc_read(self, channel, transfer: int, physical: int,
+                 die: _Die, victim: _Block, page_index: int) -> Generator:
+        """One relocation read, with the same retry policy the controller uses.
+
+        Losing a relocation read means losing live data, so an exhausted
+        retry budget surfaces as a context-rich UncorrectableReadError rather
+        than being absorbed.
+        """
+        attempt = 0
+        while True:
+            try:
+                yield from channel.read(transfer, physical_page=physical)
+                return
+            except EccError as exc:
+                attempt += 1
+                if attempt > self.config.read_retry_limit:
+                    raise UncorrectableReadError(
+                        "GC relocation read failed after %d attempts" % attempt,
+                        channel=die.channel, die=die.die,
+                        block=victim.index, page=page_index) from exc
+                backoff_us = self.config.read_retry_backoff_us * attempt
+                if backoff_us > 0:
+                    yield self.sim.timeout(us_to_ns(backoff_us))
+            except UncorrectableReadError as exc:
+                raise UncorrectableReadError(
+                    "GC relocation read failed",
+                    channel=die.channel, die=die.die,
+                    block=victim.index, page=page_index) from exc

@@ -9,8 +9,9 @@ paper's SSD its >4 GB/s internal bandwidth.
 
 from __future__ import annotations
 
-from typing import Generator
+from typing import Generator, Optional
 
+from repro.core.errors import EccError, UncorrectableReadError
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns, us_to_ns
@@ -20,7 +21,14 @@ __all__ = ["Channel", "NandArray"]
 
 
 class Channel:
-    """One flash channel: a die pool and a shared bus."""
+    """One flash channel: a die pool and a shared bus.
+
+    ``injector`` (optional, see :mod:`repro.testing.faults`) is consulted on
+    every page read: it may stretch the sense time (latency spike), hold the
+    bus (transient channel stall), or fail the read with an ECC or
+    uncorrectable error.  Failed reads consume the sense time but transfer
+    nothing; the controller owns the retry policy.
+    """
 
     def __init__(self, sim: Simulator, config: SSDConfig, index: int):
         self.sim = sim
@@ -28,28 +36,47 @@ class Channel:
         self.index = index
         self.dies = Resource(sim, capacity=config.dies_per_channel, name="ch%d.dies" % index)
         self.bus = Resource(sim, capacity=1, name="ch%d.bus" % index)
+        self.injector = None
         self.bytes_read = 0
         self.bytes_written = 0
         self.reads = 0
         self.programs = 0
         self.erases = 0
 
-    def read(self, transfer_bytes: int) -> Generator:
+    def read(self, transfer_bytes: int,
+             physical_page: Optional[int] = None) -> Generator:
         """Read one physical page, transferring ``transfer_bytes`` of it.
 
         Fiber: occupies a die for tR, then the channel bus for the transfer.
         ``transfer_bytes`` may be less than the physical page when only some
-        logical sub-pages are wanted.
+        logical sub-pages are wanted.  ``physical_page`` is carried for fault
+        injection and error context only.
         """
         config = self.config
         if not 0 < transfer_bytes <= config.physical_page_bytes:
             raise ValueError("transfer of %d bytes from a %d-byte page"
                              % (transfer_bytes, config.physical_page_bytes))
+        fault = None
+        if self.injector is not None:
+            fault = self.injector.draw_read(self.index, physical_page)
         yield self.dies.request()
         try:
-            yield self.sim.timeout(us_to_ns(config.nand_read_us))
+            sense_ns = us_to_ns(config.nand_read_us)
+            if fault is not None and fault.kind == "spike":
+                sense_ns += fault.extra_ns
+            yield self.sim.timeout(sense_ns)
+            if fault is not None and fault.kind == "ecc":
+                raise EccError("ECC decode failed",
+                               channel=self.index, page=physical_page)
+            if fault is not None and fault.kind == "uncorrectable":
+                raise UncorrectableReadError("media read failed",
+                                             channel=self.index, page=physical_page)
             yield self.bus.request()
             try:
+                if fault is not None and fault.kind == "stall":
+                    # The channel wedges with the bus held: every other die's
+                    # transfer on this channel waits it out too.
+                    yield self.sim.timeout(fault.extra_ns)
                 yield self.sim.timeout(transfer_ns(transfer_bytes, config.channel_bytes_per_sec))
             finally:
                 self.bus.release()
@@ -97,6 +124,11 @@ class NandArray:
 
     def __getitem__(self, index: int) -> Channel:
         return self.channels[index]
+
+    def attach_injector(self, injector) -> None:
+        """Install (or clear, with ``None``) a fault injector on every channel."""
+        for channel in self.channels:
+            channel.injector = injector
 
     def __len__(self) -> int:
         return len(self.channels)

@@ -1,0 +1,47 @@
+"""Correctness tooling: fault injection, generators, differential testing.
+
+The paper ships Biscuit on firmware we cannot run; this package is how the
+software model earns the same trust — deterministic seeded fault injection
+at the NAND/controller layer, property-style workload generators, and a
+differential harness asserting that the NDP pushdown path, the host-only
+path and a plain-Python reference always agree, with and without faults.
+
+Every harness failure prints a one-line ``REPRO: seed=... config=...`` that
+replays the exact case (see :func:`repro.testing.differential.replay`).
+"""
+
+from repro.testing.faults import Fault, FaultInjector, FaultPlan
+from repro.testing.strategies import (
+    GENERATOR_VERSION,
+    gen_fault_plan,
+    gen_query,
+    gen_ssd_config,
+    gen_table,
+    parse_repro,
+    repro_line,
+)
+from repro.testing.differential import (
+    CaseResult,
+    replay,
+    run_case,
+    run_sweep,
+    summarize,
+)
+
+__all__ = [
+    "Fault",
+    "FaultInjector",
+    "FaultPlan",
+    "GENERATOR_VERSION",
+    "gen_fault_plan",
+    "gen_query",
+    "gen_ssd_config",
+    "gen_table",
+    "parse_repro",
+    "repro_line",
+    "CaseResult",
+    "replay",
+    "run_case",
+    "run_sweep",
+    "summarize",
+]

@@ -1,0 +1,306 @@
+"""Differential harness: NDP pushdown vs host-only vs plain-Python reference.
+
+One seeded case = one randomized SSD geometry + table + query + fault plan
+(all derived from a single integer; see :mod:`repro.testing.strategies`).
+The case runs through three executions:
+
+* **reference** — a plain-Python AST interpreter over the raw rows, with no
+  simulator involved (so faults cannot touch it),
+* **host** — the CONV engine (everything crosses the host interface),
+* **ndp** — the BISCUIT engine with offload thresholds forced open, so a
+  matcher-amenable predicate really runs as ScanFilter/ScanAggregate
+  SSDlets on the device.
+
+Outcomes: ``match`` (all three agree), ``mismatch`` (a correctness bug —
+the repro line replays it), or ``device-error`` (injected unrecoverable
+faults killed a path with a *typed* :class:`repro.core.errors.DeviceError`,
+which is the propagation contract under test; an untyped exception
+escapes the harness and fails the suite).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.errors import DeviceError
+from repro.db.catalog import TableSchema
+from repro.db.executor import Engine, EngineConfig, ExecutionMode
+from repro.db.expr import (
+    Arith, Between, Case, Cmp, Col, Const, Func, InList, Like, Logic, Not,
+)
+from repro.db.ndp import NDPContext, ndp_aggregate_supported
+from repro.db.planner import NDPPlanner
+from repro.db.storage import Database
+from repro.host.platform import System
+from repro.testing import strategies
+from repro.testing.faults import FaultInjector
+
+__all__ = [
+    "CaseResult", "run_case", "run_sweep", "replay", "summarize",
+    "rows_match", "eval_expr", "reference_rows", "force_offload_config",
+]
+
+
+# ------------------------------------------------------- reference evaluator
+def eval_expr(expr, row: tuple, positions: Dict[str, int]) -> Any:
+    """Interpret an expression AST directly (independent of compile_expr)."""
+    if isinstance(expr, Col):
+        return row[positions[expr.name]]
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Cmp):
+        left = eval_expr(expr.left, row, positions)
+        right = eval_expr(expr.right, row, positions)
+        return {"==": left == right, "!=": left != right,
+                "<": left < right, "<=": left <= right,
+                ">": left > right, ">=": left >= right}[expr.op]
+    if isinstance(expr, Logic):
+        if expr.op == "and":
+            return all(eval_expr(arg, row, positions) for arg in expr.args)
+        return any(eval_expr(arg, row, positions) for arg in expr.args)
+    if isinstance(expr, Not):
+        return not eval_expr(expr.arg, row, positions)
+    if isinstance(expr, Between):
+        value = eval_expr(expr.column, row, positions)
+        return (eval_expr(expr.low, row, positions) <= value
+                < eval_expr(expr.high, row, positions))
+    if isinstance(expr, InList):
+        return eval_expr(expr.column, row, positions) in expr.values
+    if isinstance(expr, Like):
+        pattern = "^"
+        for char in expr.pattern:
+            pattern += ".*" if char == "%" else ("." if char == "_" else re.escape(char))
+        hit = re.match(pattern + "$", eval_expr(expr.column, row, positions),
+                       re.DOTALL) is not None
+        return not hit if expr.negated else hit
+    if isinstance(expr, Arith):
+        left = eval_expr(expr.left, row, positions)
+        right = eval_expr(expr.right, row, positions)
+        return {"+": lambda: left + right, "-": lambda: left - right,
+                "*": lambda: left * right, "/": lambda: left / right}[expr.op]()
+    if isinstance(expr, Case):
+        for cond, value in expr.whens:
+            if eval_expr(cond, row, positions):
+                return eval_expr(value, row, positions)
+        return eval_expr(expr.default, row, positions)
+    if isinstance(expr, Func):
+        if expr.fname == "year":
+            import datetime
+            days = eval_expr(expr.args[0], row, positions)
+            return (datetime.date(1970, 1, 1) + datetime.timedelta(days=days)).year
+        if expr.fname == "substring":
+            text = eval_expr(expr.args[0], row, positions)
+            start = eval_expr(expr.args[1], row, positions)
+            length = eval_expr(expr.args[2], row, positions)
+            return text[start - 1:start - 1 + length]
+    raise TypeError("cannot evaluate %r" % (expr,))
+
+
+def reference_rows(schema: TableSchema, rows: List[tuple],
+                   query: Dict[str, Any]) -> List[tuple]:
+    """The expected result, computed without any engine or simulator."""
+    positions = {name: i for i, name in enumerate(schema.column_names())}
+    survivors = [row for row in rows if eval_expr(query["pred"], row, positions)]
+    if query["kind"] == "filter":
+        out_cols = query["cols"] or schema.column_names()
+        idx = [positions[c] for c in out_cols]
+        return [tuple(row[i] for i in idx) for row in survivors]
+    group_idx = [positions[c] for c in query["group_by"]]
+    aggs = query["aggs"]
+    groups: Dict[tuple, list] = {}
+    for row in survivors:
+        key = tuple(row[i] for i in group_idx)
+        states = groups.get(key)
+        if states is None:
+            states = groups[key] = [None] * len(aggs)
+        for slot, (_name, kind, expr) in enumerate(aggs):
+            if kind == "count":
+                states[slot] = (states[slot] or 0) + 1
+                continue
+            value = eval_expr(expr, row, positions)
+            if kind == "avg":
+                if states[slot] is None:
+                    states[slot] = [0.0, 0]
+                states[slot][0] += value
+                states[slot][1] += 1
+            elif states[slot] is None:
+                states[slot] = value
+            elif kind == "sum":
+                states[slot] += value
+            elif kind == "min":
+                states[slot] = min(states[slot], value)
+            elif kind == "max":
+                states[slot] = max(states[slot], value)
+    out: List[tuple] = []
+    for key, states in groups.items():
+        values = []
+        for (_name, kind, _expr), state in zip(aggs, states):
+            if kind == "avg":
+                values.append(state[0] / state[1] if state and state[1] else 0.0)
+            else:
+                values.append(state)
+        out.append(key + tuple(values))
+    return out
+
+
+# ------------------------------------------------------------- row comparison
+def rows_match(a: List[tuple], b: List[tuple]) -> bool:
+    """Order-insensitive row-set equality with float tolerance.
+
+    NDP workers merge partial aggregates in a different order than the host
+    path, so float sums may differ in the last bits; everything else must be
+    exactly equal.
+    """
+    if len(a) != len(b):
+        return False
+    for row_a, row_b in zip(sorted(a, key=repr), sorted(b, key=repr)):
+        if len(row_a) != len(row_b):
+            return False
+        for value_a, value_b in zip(row_a, row_b):
+            if isinstance(value_a, float) or isinstance(value_b, float):
+                if not math.isclose(value_a, value_b, rel_tol=1e-9, abs_tol=1e-6):
+                    return False
+            elif value_a != value_b:
+                return False
+    return True
+
+
+# ----------------------------------------------------------------- execution
+def force_offload_config() -> EngineConfig:
+    """Engine tunables that make tiny generated tables actually offload."""
+    return EngineConfig(
+        ndp_min_table_pages=1,
+        ndp_min_table_fraction=0.0,
+        ndp_selectivity_threshold=1.1,  # any sampled selectivity qualifies
+        ndp_sample_pages=4,
+        ndp_parallel_ssdlets=2,
+    )
+
+
+def _make_engine(system: System, db: Database, mode: ExecutionMode) -> Engine:
+    engine = Engine(system, db, mode, config=force_offload_config())
+    engine.planner = NDPPlanner(engine)
+    if mode is ExecutionMode.BISCUIT:
+        engine.ndp_context = NDPContext(system)
+    return engine
+
+
+def _query_fiber(engine: Engine, schema: TableSchema, query: Dict[str, Any]):
+    ref = engine.t(schema.name, query["pred"],
+                   list(query["cols"]) if query.get("cols") else None)
+    if query["kind"] == "filter":
+        rel = yield from engine.fetch(ref)
+        return rel.rows
+    aggs = query["aggs"]
+    group_by = list(query["group_by"])
+    if (engine.mode is ExecutionMode.BISCUIT
+            and engine.config.ndp_pushdown_aggregate
+            and ndp_aggregate_supported(aggs)):
+        decision = yield from engine.planner.decide(ref)
+        if decision.offload:
+            rel = yield from engine.ndp_context.ndp_aggregate(
+                engine, ref, decision, group_by, aggs)
+            return rel.rows
+    rel = yield from engine.fetch(ref)
+    rel = yield from engine.aggregate(rel, group_by, aggs)
+    return rel.rows
+
+
+def _execute(system: System, engine: Engine, schema: TableSchema,
+             query: Dict[str, Any]):
+    """(rows, None) on success, (None, error) on a typed device failure."""
+    engine.begin_query()
+    try:
+        rows = system.run_fiber(_query_fiber(engine, schema, query))
+        return rows, None
+    except DeviceError as exc:
+        return None, exc
+
+
+# -------------------------------------------------------------------- driver
+@dataclass
+class CaseResult:
+    seed: int
+    faults: bool
+    outcome: str  # "match" | "mismatch" | "device-error"
+    detail: str
+    repro: str
+    offloaded: bool
+    fault_counters: Dict[str, int] = field(default_factory=dict)
+
+
+def run_case(seed: int, faults: bool = True) -> CaseResult:
+    """Generate, execute and judge one differential case."""
+    rng = random.Random(seed)
+    ssd_config = strategies.gen_ssd_config(rng)
+    schema, rows = strategies.gen_table(rng)
+    query = strategies.gen_query(rng, schema, rows)
+    plan = strategies.gen_fault_plan(rng)  # drawn even when unused: keeps the
+    line = strategies.repro_line(seed, faults)  # rng stream seed-stable
+
+    system = System(ssd_config=ssd_config)
+    db = Database(system.fs)
+    db.load_table(schema, rows)
+    host_engine = _make_engine(system, db, ExecutionMode.CONV)
+    ndp_engine = _make_engine(system, db, ExecutionMode.BISCUIT)
+    injector = None
+    if faults:
+        injector = FaultInjector(plan)
+        system.device.attach_fault_injector(injector)
+
+    expected = reference_rows(schema, rows, query)
+    host_rows, host_error = _execute(system, host_engine, schema, query)
+    ndp_rows, ndp_error = _execute(system, ndp_engine, schema, query)
+    offloaded = ndp_engine.ndp_scans > 0
+    counters = injector.counters() if injector else {}
+
+    if host_error is not None or ndp_error is not None:
+        failed = []
+        if host_error is not None:
+            failed.append("host: %s" % host_error)
+        if ndp_error is not None:
+            failed.append("ndp: %s" % ndp_error)
+        return CaseResult(seed, faults, "device-error", "; ".join(failed),
+                          line, offloaded, counters)
+    if not rows_match(ndp_rows, host_rows):
+        detail = ("ndp/host disagree: %d vs %d rows | %s"
+                  % (len(ndp_rows), len(host_rows), line))
+        return CaseResult(seed, faults, "mismatch", detail, line,
+                          offloaded, counters)
+    if not rows_match(host_rows, expected):
+        detail = ("host/reference disagree: %d vs %d rows | %s"
+                  % (len(host_rows), len(expected), line))
+        return CaseResult(seed, faults, "mismatch", detail, line,
+                          offloaded, counters)
+    return CaseResult(seed, faults, "match", "", line, offloaded, counters)
+
+
+def replay(line: str) -> CaseResult:
+    """Re-run the exact case a ``REPRO:`` line came from."""
+    seed, faults = strategies.parse_repro(line)
+    return run_case(seed, faults=faults)
+
+
+def run_sweep(seeds, faults: bool = True) -> List[CaseResult]:
+    """Run one case per seed; failures carry their repro line in ``detail``."""
+    return [run_case(seed, faults=faults) for seed in seeds]
+
+
+def summarize(results: List[CaseResult]) -> Dict[str, Any]:
+    """Aggregate sweep statistics (handy for assertions and CI logs)."""
+    outcomes: Dict[str, int] = {}
+    for result in results:
+        outcomes[result.outcome] = outcomes.get(result.outcome, 0) + 1
+    return {
+        "cases": len(results),
+        "outcomes": outcomes,
+        "offloaded": sum(1 for r in results if r.offloaded),
+        "mismatches": [r.detail for r in results if r.outcome == "mismatch"],
+        "faults_injected": sum(
+            sum(r.fault_counters.values()) - r.fault_counters.get("reads_seen", 0)
+            for r in results if r.fault_counters),
+    }

@@ -1,0 +1,128 @@
+"""Deterministic, seeded fault injection for the NAND/controller layer.
+
+A :class:`FaultInjector` attaches to every :class:`repro.ssd.nand.Channel`
+(via ``SSDDevice.attach_fault_injector``) and is consulted once per page-read
+attempt.  Outcomes:
+
+* ``ecc`` — the sense completes but ECC decode fails; the controller retries
+  with backoff (``SSDConfig.read_retry_limit`` / ``read_retry_backoff_us``)
+  and escalates to :class:`repro.core.errors.UncorrectableReadError` when the
+  budget is exhausted.  Each retry is a fresh draw, so transient errors
+  usually recover — exactly the read-retry behaviour of real NAND.
+* ``uncorrectable`` — the read fails beyond recovery immediately.
+* ``spike`` — the sense takes ``spike_us`` longer (a latency spike).
+* ``stall`` — the channel bus wedges for ``stall_us`` before the transfer,
+  delaying every die on the channel (a transient channel stall).
+
+All randomness comes from one ``random.Random(plan.seed)`` stream consumed
+in simulation order, so a given (plan, workload) pair replays bit-for-bit.
+Injection activity is observable through the public counters.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Tuple
+
+from repro.sim.units import us_to_ns
+
+__all__ = ["Fault", "FaultPlan", "FaultInjector", "FAULT_KINDS"]
+
+FAULT_KINDS = ("uncorrectable", "ecc", "spike", "stall")
+
+
+class Fault(NamedTuple):
+    """One drawn fault: the kind and (for latency faults) the extra delay."""
+
+    kind: str
+    extra_ns: int = 0
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded description of what to inject (all rates are per read attempt)."""
+
+    seed: int = 0
+    ecc_rate: float = 0.0
+    uncorrectable_rate: float = 0.0
+    spike_rate: float = 0.0
+    stall_rate: float = 0.0
+    spike_us: float = 400.0
+    stall_us: float = 800.0
+    #: Restrict injection to these channel indexes (None = every channel).
+    channels: Optional[Tuple[int, ...]] = None
+
+    def validate(self) -> None:
+        rates = (self.ecc_rate, self.uncorrectable_rate,
+                 self.spike_rate, self.stall_rate)
+        if any(rate < 0.0 for rate in rates):
+            raise ValueError("fault rates cannot be negative")
+        if sum(rates) > 1.0:
+            raise ValueError("fault rates sum past 1.0")
+        if self.spike_us < 0 or self.stall_us < 0:
+            raise ValueError("fault delays cannot be negative")
+
+    @property
+    def any_faults(self) -> bool:
+        return (self.ecc_rate or self.uncorrectable_rate
+                or self.spike_rate or self.stall_rate) > 0.0
+
+
+class FaultInjector:
+    """Draws per-read fault outcomes from a plan's seeded stream."""
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self._rng = random.Random(plan.seed)
+        self.reads_seen = 0
+        self.ecc_injected = 0
+        self.uncorrectable_injected = 0
+        self.spikes_injected = 0
+        self.stalls_injected = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return (self.ecc_injected + self.uncorrectable_injected
+                + self.spikes_injected + self.stalls_injected)
+
+    def counters(self) -> dict:
+        return {
+            "reads_seen": self.reads_seen,
+            "ecc_injected": self.ecc_injected,
+            "uncorrectable_injected": self.uncorrectable_injected,
+            "spikes_injected": self.spikes_injected,
+            "stalls_injected": self.stalls_injected,
+        }
+
+    def draw_read(self, channel_index: int,
+                  physical_page: Optional[int] = None) -> Optional[Fault]:
+        """The fault (or None) for one read attempt on ``channel_index``.
+
+        Called by :meth:`repro.ssd.nand.Channel.read` at the start of every
+        attempt — retries draw again, which is what makes ECC errors
+        transient.
+        """
+        plan = self.plan
+        if plan.channels is not None and channel_index not in plan.channels:
+            return None
+        self.reads_seen += 1
+        draw = self._rng.random()
+        # Fixed band order keeps the mapping from draw to outcome stable.
+        if draw < plan.uncorrectable_rate:
+            self.uncorrectable_injected += 1
+            return Fault("uncorrectable")
+        draw -= plan.uncorrectable_rate
+        if draw < plan.ecc_rate:
+            self.ecc_injected += 1
+            return Fault("ecc")
+        draw -= plan.ecc_rate
+        if draw < plan.spike_rate:
+            self.spikes_injected += 1
+            return Fault("spike", us_to_ns(plan.spike_us))
+        draw -= plan.spike_rate
+        if draw < plan.stall_rate:
+            self.stalls_injected += 1
+            return Fault("stall", us_to_ns(plan.stall_us))
+        return None

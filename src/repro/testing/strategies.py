@@ -1,0 +1,233 @@
+"""Seeded property-style generators (stdlib ``random`` only, no new deps).
+
+Every generator takes an explicit ``random.Random`` so that one integer seed
+derives the whole case — SSD geometry, table contents, query, fault plan.
+That is what makes the shrinking-free ``REPRO:`` format work: a failure line
+carries only the seed (plus the generator version and the faults flag), and
+:func:`repro.testing.differential.replay` regenerates the exact case.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Any, Dict, List, Tuple
+
+from repro.db.catalog import Column, TableSchema, date_to_int
+from repro.db.expr import (
+    between,
+    col,
+    eq,
+    ge,
+    in_,
+    le,
+    like,
+    mul,
+    and_,
+)
+from repro.sim.units import KIB
+from repro.ssd.config import SSDConfig
+from repro.testing.faults import FaultPlan
+
+__all__ = [
+    "GENERATOR_VERSION",
+    "gen_ssd_config",
+    "gen_table",
+    "gen_query",
+    "gen_fault_plan",
+    "repro_line",
+    "parse_repro",
+]
+
+#: Bump when a generator change invalidates old REPRO lines.
+GENERATOR_VERSION = "v1"
+
+#: String-column vocabulary: ≥4-char words so LIKE prefixes stay HW-usable.
+WORDS = ("alpha", "bravo", "carbon", "delta", "ember",
+         "falcon", "garnet", "helium")
+
+
+# ----------------------------------------------------------------- SSD config
+def gen_ssd_config(rng: random.Random) -> SSDConfig:
+    """A small randomized geometry (fast to simulate, still multi-channel)."""
+    logical = rng.choice([2 * KIB, 4 * KIB])
+    return SSDConfig(
+        channels=rng.choice([2, 4, 8]),
+        dies_per_channel=rng.choice([2, 4]),
+        logical_page_bytes=logical,
+        physical_page_bytes=logical * rng.choice([2, 4]),
+        pages_per_block=32,
+        blocks_per_die=16,
+        overprovision_ratio=rng.choice([0.1, 0.125, 0.2]),
+        read_retry_limit=rng.choice([1, 2, 3]),
+        read_retry_backoff_us=rng.choice([0.0, 20.0, 40.0]),
+    )
+
+
+# --------------------------------------------------------------------- tables
+def gen_table(rng: random.Random) -> Tuple[TableSchema, List[tuple]]:
+    """A randomized TPC-H-style table: typed columns, seeded row contents."""
+    columns = [Column("c0", "int")]  # unique row id
+    for index in range(1, rng.randint(3, 5)):
+        columns.append(Column("c%d" % index,
+                              rng.choice(["int", "float", "str", "date"])))
+    schema = TableSchema("t", columns)
+    base_date = date_to_int("1993-01-01")
+    rows: List[tuple] = []
+    for row_id in range(rng.randint(80, 400)):
+        values: List[Any] = [row_id]
+        for column in columns[1:]:
+            if column.ctype == "int":
+                values.append(rng.randint(0, 50))
+            elif column.ctype == "float":
+                values.append(round(rng.uniform(0.0, 1000.0), 2))
+            elif column.ctype == "str":
+                values.append(rng.choice(WORDS))
+            else:
+                values.append(base_date + rng.randint(0, 2000))
+        rows.append(tuple(values))
+    return schema, rows
+
+
+# -------------------------------------------------------------------- queries
+def _gen_conjunct(rng: random.Random, schema: TableSchema, rows: List[tuple]):
+    column = rng.choice(schema.columns)
+    position = schema.position(column.name)
+    values = [row[position] for row in rows]
+    reference = col(column.name)
+
+    def pick():
+        return rng.choice(values)
+
+    if column.ctype == "str":
+        kind = rng.choice(["eq", "in", "like", "in-wide"])
+        distinct = sorted(set(values))
+        if kind == "eq" or len(distinct) < 2:
+            return eq(reference, pick())
+        if kind == "in":
+            return in_(reference, rng.sample(distinct, min(len(distinct), rng.randint(2, 3))))
+        if kind == "like":
+            return like(reference, pick()[:4] + "%")
+        # Wider than the matcher's 3 key slots: a valid query the planner
+        # must decline to offload (falls back to the host path on both sides).
+        if len(distinct) >= 4:
+            return in_(reference, rng.sample(distinct, rng.randint(4, min(5, len(distinct)))))
+        return eq(reference, pick())
+    if column.ctype == "date":
+        low, high = sorted((pick(), pick()))
+        return between(reference, low, high + 1)
+    if column.ctype == "int":
+        kind = rng.choice(["eq", "between", "ge", "in"])
+        if kind == "eq":
+            return eq(reference, pick())
+        if kind == "between":
+            low, high = sorted((pick(), pick()))
+            return between(reference, low, high + 1)
+        if kind == "ge":
+            return ge(reference, pick())
+        return in_(reference, sorted(set(rng.sample(values, min(len(values), 3)))))
+    # float
+    kind = rng.choice(["le", "ge", "between"])
+    if kind == "le":
+        return le(reference, pick())
+    if kind == "ge":
+        return ge(reference, pick())
+    low, high = sorted((pick(), pick()))
+    return between(reference, low, high + 0.5)
+
+
+def gen_query(rng: random.Random, schema: TableSchema,
+              rows: List[tuple]) -> Dict[str, Any]:
+    """A randomized filter or aggregate query over the generated table.
+
+    Filter queries carry a predicate plus a projected column subset;
+    aggregate queries add an optional GROUP BY and 1–3 aggregates drawn
+    from the device-supported kinds (sum/count/avg/min/max).
+    """
+    pred = and_(*[_gen_conjunct(rng, schema, rows)
+                  for _ in range(rng.choice([1, 1, 2]))])
+    if rng.random() < 0.55:
+        names = schema.column_names()
+        cols = rng.sample(names, rng.randint(1, len(names)))
+        return {"kind": "filter", "pred": pred, "cols": cols}
+    numeric = [c.name for c in schema.columns if c.ctype in ("int", "float")]
+    any_cols = schema.column_names()
+    aggs: List[Tuple[str, str, Any]] = []
+    for index in range(rng.randint(1, 3)):
+        kind = rng.choice(["sum", "count", "avg", "min", "max"])
+        name = "a%d" % index
+        if kind == "count":
+            aggs.append((name, "count", None))
+        elif kind in ("sum", "avg"):
+            if rng.random() < 0.25 and len(numeric) >= 2:
+                first, second = rng.sample(numeric, 2)
+                aggs.append((name, kind, mul(col(first), col(second))))
+            else:
+                aggs.append((name, kind, col(rng.choice(numeric))))
+        else:
+            aggs.append((name, kind, col(rng.choice(any_cols))))
+    group_cols = [c.name for c in schema.columns if c.ctype in ("str", "int")]
+    group_by = [rng.choice(group_cols)] if (group_cols and rng.random() < 0.5) else []
+    return {"kind": "aggregate", "pred": pred, "group_by": group_by, "aggs": aggs}
+
+
+# ---------------------------------------------------------------- fault plans
+def gen_fault_plan(rng: random.Random) -> FaultPlan:
+    """A randomized fault schedule, from quiet to harsh.
+
+    The ``harsh`` profile includes uncorrectable reads, so some harsh cases
+    legitimately end in a typed device error instead of a result — the
+    differential harness classifies (and asserts the typing of) those.
+    """
+    profile = rng.choice(["quiet", "ecc", "latency", "mixed", "harsh"])
+    seed = rng.randrange(1 << 30)
+    if profile == "quiet":
+        return FaultPlan(seed=seed)
+    if profile == "ecc":
+        return FaultPlan(seed=seed, ecc_rate=rng.uniform(0.01, 0.10))
+    if profile == "latency":
+        return FaultPlan(
+            seed=seed,
+            spike_rate=rng.uniform(0.02, 0.10),
+            stall_rate=rng.uniform(0.005, 0.03),
+            spike_us=rng.choice([200.0, 400.0, 800.0]),
+            stall_us=rng.choice([400.0, 800.0, 1600.0]),
+        )
+    if profile == "mixed":
+        return FaultPlan(
+            seed=seed,
+            ecc_rate=rng.uniform(0.01, 0.05),
+            spike_rate=rng.uniform(0.01, 0.05),
+            stall_rate=rng.uniform(0.005, 0.02),
+        )
+    return FaultPlan(
+        seed=seed,
+        ecc_rate=rng.uniform(0.05, 0.12),
+        uncorrectable_rate=rng.uniform(0.001, 0.004),
+        spike_rate=0.02,
+        stall_rate=0.01,
+    )
+
+
+# -------------------------------------------------------------- REPRO format
+_REPRO_RE = re.compile(
+    r"REPRO:\s+seed=(\d+)\s+config=([A-Za-z0-9_.-]+):faults=(on|off)")
+
+
+def repro_line(seed: int, faults: bool) -> str:
+    """The one-line replay token printed with every harness failure."""
+    return "REPRO: seed=%d config=%s:faults=%s" % (
+        seed, GENERATOR_VERSION, "on" if faults else "off")
+
+
+def parse_repro(line: str) -> Tuple[int, bool]:
+    """Parse a ``REPRO:`` line back into (seed, faults)."""
+    match = _REPRO_RE.search(line)
+    if match is None:
+        raise ValueError("not a REPRO line: %r" % line)
+    version = match.group(2)
+    if version != GENERATOR_VERSION:
+        raise ValueError(
+            "REPRO line is from generator %s, this is %s"
+            % (version, GENERATOR_VERSION))
+    return int(match.group(1)), match.group(3) == "on"

@@ -1,0 +1,44 @@
+"""The acceptance sweep: ≥100 seeded query/config/fault combos, differential
+NDP-vs-host-vs-reference, zero tolerated mismatches.
+
+The default sweep is sized for every-push CI; the ``faults``-marked sweep is
+the long soak (``pytest -m faults`` or ``make test-faults``).
+"""
+
+import pytest
+
+from repro.testing.differential import run_sweep, summarize
+
+
+def _assert_no_mismatches(results):
+    summary = summarize(results)
+    assert not summary["mismatches"], "\n".join(summary["mismatches"])
+
+
+def test_differential_sweep_100_cases():
+    faulted = run_sweep(range(60), faults=True)
+    clean = run_sweep(range(60, 100), faults=False)
+    results = faulted + clean
+
+    _assert_no_mismatches(results)
+    # Without faults every case must produce a result that matches.
+    assert all(r.outcome == "match" for r in clean)
+    # With faults a case may end in a *typed* device error, nothing else.
+    assert all(r.outcome in ("match", "device-error") for r in faulted)
+
+    summary = summarize(results)
+    assert summary["cases"] == 100
+    # The sweep must actually exercise both paths: most generated predicates
+    # are matcher-amenable and the thresholds are forced open, so the NDP
+    # engine should offload in the bulk of the cases...
+    assert summary["offloaded"] >= 60
+    # ...and fault injection must have actually fired.
+    assert summary["faults_injected"] > 0
+
+
+@pytest.mark.faults
+def test_differential_soak_400_cases():
+    results = (run_sweep(range(1000, 1300), faults=True)
+               + run_sweep(range(1300, 1400), faults=False))
+    _assert_no_mismatches(results)
+    assert summarize(results)["cases"] == 400

@@ -1,0 +1,64 @@
+"""Golden-trace regression: re-run reduced-scale benchmark slices and hold
+them to the committed ``benchmarks/results/*.csv`` numbers.
+
+Both experiments are deterministic, and fig7 computes every request size
+over an independent 32 MiB window (``total = min(sweep_bytes, max(size*8,
+32*MiB))``), so a two-size slice reproduces exactly the rows the full sweep
+committed.  The tolerance guards against incidental model drift — a change
+that moves these numbers must regenerate the goldens deliberately.
+"""
+
+import csv
+import os
+
+import pytest
+
+from repro.bench.experiments import (
+    exp_fig7_read_bandwidth,
+    exp_table3_read_latency,
+)
+from repro.sim.units import KIB, MIB
+
+GOLDEN_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "benchmarks", "results")
+TOLERANCE = 0.05  # 5% relative
+
+
+def load_golden(name):
+    path = os.path.join(GOLDEN_DIR, name)
+    with open(path, newline="") as handle:
+        return list(csv.DictReader(handle))
+
+
+def assert_close(measured, golden, what):
+    golden = float(golden)
+    measured = float(measured)
+    assert measured == pytest.approx(golden, rel=TOLERANCE), (
+        "%s drifted: measured %s vs golden %s (tolerance %d%%)"
+        % (what, measured, golden, int(TOLERANCE * 100)))
+
+
+def test_fig7_read_bandwidth_matches_golden():
+    golden = {row["request"]: row for row in
+              load_golden("fig7_read_bandwidth.csv")}
+    result = exp_fig7_read_bandwidth(sizes=[64 * KIB, 1 * MIB],
+                                     sweep_bytes=32 * MIB)
+    assert result.headers[0] == "request"
+    for row in result.rows:
+        label = row[0]
+        assert label in golden, "size %s missing from golden CSV" % label
+        for column, value in zip(result.headers[1:], row[1:]):
+            assert_close(value, golden[label][column],
+                         "fig7 %s %s" % (label, column))
+
+
+def test_table3_read_latency_matches_golden():
+    golden = {row["config"]: row for row in
+              load_golden("table3_read_latency.csv")}
+    result = exp_table3_read_latency(samples=8)
+    for config_name, _paper, measured in result.rows:
+        assert_close(measured, golden[config_name]["measured"],
+                     "table3 %s latency" % config_name)
+    # The reproduced spread must keep Biscuit's internal path faster.
+    assert result.metrics["biscuit_read_us"] < result.metrics["conv_read_us"]

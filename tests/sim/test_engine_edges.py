@@ -1,0 +1,190 @@
+"""Simulator-core edge cases: condition events with failed / pre-triggered
+children, interrupts landing mid-resource-wait, and whole-run determinism.
+"""
+
+import pytest
+
+from repro.sim.engine import (
+    Interrupt,
+    SimulationError,
+    Simulator,
+    all_of,
+    any_of,
+)
+from repro.sim.resources import Resource
+
+
+# ------------------------------------------------------- AllOf / AnyOf edges
+def test_all_of_with_already_failed_child_fails_immediately():
+    sim = Simulator()
+    bad = sim.event()
+    bad.defused = True
+    bad.fail(RuntimeError("pre-broken"))
+    sim.run(sim.timeout(1))  # process the failure
+    good = sim.timeout(10)
+
+    def fiber():
+        yield all_of(sim, [good, bad])
+
+    with pytest.raises(RuntimeError, match="pre-broken"):
+        sim.run(sim.process(fiber()))
+
+
+def test_all_of_failure_defuses_second_concurrent_failure():
+    sim = Simulator()
+
+    def dies_at(delay, tag):
+        yield sim.timeout(delay)
+        raise RuntimeError(tag)
+
+    def fiber():
+        yield all_of(sim, [sim.process(dies_at(5, "first")),
+                           sim.process(dies_at(7, "second"))])
+
+    # Fails fast with the first failure; the second, later failure must be
+    # defused by the condition rather than crashing the run as unhandled.
+    with pytest.raises(RuntimeError, match="first"):
+        sim.run(sim.process(fiber()))
+    sim.run(sim.timeout(10))  # drain past the second failure: no explosion
+
+
+def test_any_of_with_failing_first_child_propagates():
+    sim = Simulator()
+
+    def dies():
+        yield sim.timeout(3)
+        raise ValueError("boom")
+
+    def fiber():
+        yield any_of(sim, [sim.process(dies()), sim.timeout(100)])
+
+    with pytest.raises(ValueError, match="boom"):
+        sim.run(sim.process(fiber()))
+
+
+def test_any_of_with_already_succeeded_child_short_circuits():
+    sim = Simulator()
+    done = sim.event()
+    done.succeed("early")
+    sim.run(sim.timeout(1))
+    assert done.processed
+
+    def fiber():
+        value = yield any_of(sim, [done, sim.timeout(1000)])
+        return value
+
+    start = sim.now
+    assert sim.run(sim.process(fiber())) == "early"
+    assert sim.now == start  # no waiting on the slow child
+
+
+def test_any_of_with_already_failed_child_fails_without_waiting():
+    sim = Simulator()
+    bad = sim.event()
+    bad.defused = True
+    bad.fail(KeyError("gone"))
+    sim.run(sim.timeout(1))
+
+    def fiber():
+        yield any_of(sim, [bad, sim.timeout(1000)])
+
+    with pytest.raises(KeyError):
+        sim.run(sim.process(fiber()))
+
+
+# --------------------------------------------------- interrupts in new waits
+def test_interrupt_during_resource_wait_releases_nothing():
+    sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    state = {}
+
+    def holder():
+        yield lock.request()
+        yield sim.timeout(100)
+        lock.release()
+
+    def waiter():
+        try:
+            yield lock.request()
+            state["acquired"] = True
+            lock.release()
+        except Interrupt as interrupt:
+            state["interrupted"] = interrupt.cause
+
+    sim.process(holder())
+    victim = sim.process(waiter())
+
+    def supervisor():
+        yield sim.timeout(10)  # victim is now parked in the resource queue
+        victim.interrupt("impatient")
+
+    sim.process(supervisor())
+    sim.run(sim.timeout(200))
+    assert state == {"interrupted": "impatient"}
+    # The interrupted waiter never held the lock, so the holder's release
+    # leaves the resource fully available.
+    assert lock.available == 1
+
+
+def test_interrupted_waiter_does_not_steal_later_grant():
+    sim = Simulator()
+    lock = Resource(sim, capacity=1)
+    order = []
+
+    def holder():
+        yield lock.request()
+        yield sim.timeout(100)
+        lock.release()
+
+    def waiter(name):
+        try:
+            yield lock.request()
+        except Interrupt:
+            order.append("%s-interrupted" % name)
+            return
+        order.append("%s-acquired" % name)
+        lock.release()
+
+    sim.process(holder())
+    first = sim.process(waiter("first"))
+    sim.process(waiter("second"))
+
+    def supervisor():
+        yield sim.timeout(10)
+        first.interrupt()
+
+    sim.process(supervisor())
+    sim.run(sim.timeout(300))
+    assert order == ["first-interrupted", "second-acquired"]
+
+
+# -------------------------------------------------------------- determinism
+def _traced_world(seed):
+    """A seeded mix of fibers contending on a resource; returns the trace."""
+    import random
+    rng = random.Random(seed)
+    sim = Simulator()
+    resource = Resource(sim, capacity=2)
+    trace = []
+
+    def worker(worker_id, delays):
+        for hop, delay in enumerate(delays):
+            yield sim.timeout(delay)
+            yield resource.request()
+            trace.append((sim.now, worker_id, hop))
+            yield sim.timeout(delay // 2 + 1)
+            resource.release()
+
+    for worker_id in range(6):
+        delays = [rng.randrange(1, 50) for _ in range(8)]
+        sim.process(worker(worker_id, delays))
+    sim.run()
+    return trace
+
+
+def test_same_seed_identical_event_order():
+    assert _traced_world(1234) == _traced_world(1234)
+
+
+def test_different_seed_different_event_order():
+    assert _traced_world(1) != _traced_world(2)

@@ -1,0 +1,99 @@
+"""Differential harness: agreement, typed failure classes, replay, and the
+deliberately-planted-bug check that proves the harness can actually catch a
+device-side matcher bug.
+"""
+
+import itertools
+
+import pytest
+
+import repro.db.ndp
+from repro.testing.differential import (
+    replay,
+    rows_match,
+    run_case,
+    run_sweep,
+    summarize,
+)
+
+
+# ------------------------------------------------------------- row comparison
+def test_rows_match_ignores_order():
+    assert rows_match([(1, "a"), (2, "b")], [(2, "b"), (1, "a")])
+
+
+def test_rows_match_float_tolerance():
+    assert rows_match([(1.0000000000001,)], [(1.0,)])
+    assert not rows_match([(1.01,)], [(1.0,)])
+    assert rows_match([(3,)], [(3.0,)])  # int vs float sum representations
+
+
+def test_rows_match_detects_differences():
+    assert not rows_match([(1,)], [(1,), (2,)])
+    assert not rows_match([(1, "a")], [(1, "b")])
+
+
+# ----------------------------------------------------------------- agreement
+def test_small_sweep_without_faults_all_match():
+    results = run_sweep(range(10), faults=False)
+    assert [r.outcome for r in results] == ["match"] * 10
+    assert summarize(results)["offloaded"] > 0
+
+
+def test_small_sweep_with_faults_never_mismatches():
+    results = run_sweep(range(200, 212), faults=True)
+    assert all(r.outcome in ("match", "device-error") for r in results)
+    assert summarize(results)["faults_injected"] > 0
+
+
+def test_device_error_outcome_is_typed_with_context():
+    # Seed 2055 draws the harsh profile and loses a page to retry exhaustion
+    # (stable: the whole case derives from the seed).
+    result = run_case(2055, faults=True)
+    assert result.outcome == "device-error"
+    assert "channel=" in result.detail
+    assert result.fault_counters["ecc_injected"] > 0
+
+
+def test_repro_line_replays_identically():
+    original = run_case(42, faults=True)
+    replayed = replay(original.repro)
+    assert replayed.outcome == original.outcome
+    assert replayed.detail == original.detail
+    assert replayed.offloaded == original.offloaded
+    assert replayed.fault_counters == original.fault_counters
+
+
+def test_every_result_carries_a_repro_line():
+    for result in run_sweep(range(3), faults=False):
+        assert result.repro.startswith("REPRO: seed=")
+
+
+# ------------------------------------------------------------- planted bug
+def test_planted_matcher_bug_is_caught(monkeypatch):
+    """Corrupt the device-side predicate compiler; the sweep must notice.
+
+    The wrapper drops every 7th matching row, which only affects the NDP
+    path (the host executor and the planner import compile_expr
+    themselves), so any detected mismatch is the differential check — not
+    the reference — doing the work.
+    """
+    real = repro.db.ndp.compile_expr
+    counter = itertools.count(1)
+
+    def buggy_compile(expr, positions):
+        fn = real(expr, positions)
+
+        def wrapped(row):
+            value = fn(row)
+            if value and next(counter) % 7 == 0:
+                return False
+            return value
+
+        return wrapped
+
+    monkeypatch.setattr(repro.db.ndp, "compile_expr", buggy_compile)
+    results = run_sweep(range(15), faults=False)
+    mismatches = [r for r in results if r.outcome == "mismatch"]
+    assert mismatches, "harness failed to catch the planted device-side bug"
+    assert all("REPRO:" in r.detail for r in mismatches)

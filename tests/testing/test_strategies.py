@@ -1,0 +1,86 @@
+"""Generators: seed determinism, value shapes, and the REPRO line format."""
+
+import random
+
+import pytest
+
+from repro.db.catalog import TableSchema
+from repro.testing.strategies import (
+    GENERATOR_VERSION,
+    gen_fault_plan,
+    gen_query,
+    gen_ssd_config,
+    gen_table,
+    parse_repro,
+    repro_line,
+)
+
+
+def test_gen_ssd_config_is_valid_and_deterministic():
+    config_a = gen_ssd_config(random.Random(7))
+    config_b = gen_ssd_config(random.Random(7))
+    assert config_a == config_b
+    config_a.validate()
+
+
+def test_gen_table_is_deterministic():
+    schema_a, rows_a = gen_table(random.Random(7))
+    schema_b, rows_b = gen_table(random.Random(7))
+    assert schema_a == schema_b
+    assert rows_a == rows_b
+    assert isinstance(schema_a, TableSchema)
+    assert 80 <= len(rows_a) <= 400
+
+
+def test_gen_table_c0_is_unique_row_id():
+    _schema, rows = gen_table(random.Random(3))
+    ids = [row[0] for row in rows]
+    assert ids == list(range(len(rows)))
+
+
+def test_gen_query_is_deterministic():
+    rng = random.Random(11)
+    schema, rows = gen_table(rng)
+    state = rng.getstate()
+    query_a = gen_query(rng, schema, rows)
+    rng.setstate(state)
+    query_b = gen_query(rng, schema, rows)
+    assert repr(query_a) == repr(query_b)
+    assert query_a["kind"] in ("filter", "aggregate")
+
+
+def test_gen_query_covers_both_kinds():
+    kinds = set()
+    for seed in range(40):
+        rng = random.Random(seed)
+        schema, rows = gen_table(rng)
+        kinds.add(gen_query(rng, schema, rows)["kind"])
+    assert kinds == {"filter", "aggregate"}
+
+
+def test_gen_fault_plan_is_valid():
+    for seed in range(40):
+        plan = gen_fault_plan(random.Random(seed))
+        plan.validate()  # raises on a bad plan
+
+
+def test_repro_line_roundtrip():
+    for seed, faults in ((0, True), (12345, False), (1 << 29, True)):
+        assert parse_repro(repro_line(seed, faults)) == (seed, faults)
+
+
+def test_repro_line_parses_inside_noise():
+    line = "FAILED ...  %s  (rerun me)" % repro_line(77, True)
+    assert parse_repro(line) == (77, True)
+
+
+def test_parse_repro_rejects_garbage():
+    with pytest.raises(ValueError):
+        parse_repro("not a repro line at all")
+
+
+def test_parse_repro_rejects_version_mismatch():
+    stale = repro_line(5, True).replace(GENERATOR_VERSION, "v0")
+    assert GENERATOR_VERSION in repro_line(5, True)
+    with pytest.raises(ValueError):
+        parse_repro(stale)
