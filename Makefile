@@ -17,3 +17,4 @@ test-faults:
 
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
+	$(PYTEST) -q benchmarks/test_ablation_read_cache.py

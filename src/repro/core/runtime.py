@@ -288,7 +288,9 @@ class BiscuitRuntime:
         yield from self.device.controller.device_compute(5.0)
         inode = self.fs.lookup(path)
         use_matcher = bool(getattr(device_file, "use_matcher", False))
-        return FileHandle(self.fs, inode, internal=True, use_matcher=use_matcher)
+        cache_bypass = bool(getattr(device_file, "cache_bypass", False))
+        return FileHandle(self.fs, inode, internal=True, use_matcher=use_matcher,
+                          cache_bypass=cache_bypass)
 
     # ------------------------------------------------------------------ hooks
     def compute(self, app: DeviceApplication, duration_us: float) -> Generator:

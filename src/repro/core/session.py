@@ -31,9 +31,11 @@ __all__ = ["UserSession", "SessionFile"]
 class SessionFile:
     """A file token scoped to one session (the session-aware DeviceFile)."""
 
-    def __init__(self, session: "UserSession", path: str, use_matcher: bool = False):
+    def __init__(self, session: "UserSession", path: str,
+                 use_matcher: bool = False, cache_bypass: bool = False):
         self.path = path
         self.use_matcher = use_matcher
+        self.cache_bypass = cache_bypass
         self.session = session.user
 
 
@@ -54,10 +56,12 @@ class UserSession:
         ssd.runtime.register_session(self)
 
     # ------------------------------------------------------------------ files
-    def file(self, path: str, use_matcher: bool = False) -> SessionFile:
+    def file(self, path: str, use_matcher: bool = False,
+             cache_bypass: bool = False) -> SessionFile:
         """Grant this session's SSDlets access to ``path``."""
         self.grants.add(path)
-        return SessionFile(self, path, use_matcher=use_matcher)
+        return SessionFile(self, path, use_matcher=use_matcher,
+                           cache_bypass=cache_bypass)
 
     def revoke(self, path: str) -> None:
         self.grants.discard(path)

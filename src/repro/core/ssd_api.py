@@ -22,16 +22,24 @@ class DeviceFile:
     """A host-created file token passable to SSDlets (args or ports).
 
     ``use_matcher`` asks the device to engage the per-channel hardware
-    pattern matcher when SSDlets read through this token.
+    pattern matcher when SSDlets read through this token.  ``cache_bypass``
+    marks the token's reads as a streaming scan: they flow past the
+    device-DRAM read cache instead of evicting the hot working set (matcher
+    reads bypass implicitly).
     """
 
-    def __init__(self, ssd: "SSD", path: str, use_matcher: bool = False):
+    def __init__(self, ssd: "SSD", path: str, use_matcher: bool = False,
+                 cache_bypass: bool = False):
         self.path = path
         self.use_matcher = use_matcher
+        self.cache_bypass = cache_bypass
         ssd.runtime.grant_file(path)
 
     def __repr__(self) -> str:
-        return "DeviceFile(%r%s)" % (self.path, ", matcher" if self.use_matcher else "")
+        flags = "".join(
+            [", matcher" if self.use_matcher else "",
+             ", cache-bypass" if self.cache_bypass else ""])
+        return "DeviceFile(%r%s)" % (self.path, flags)
 
 
 class SSD:
@@ -65,9 +73,11 @@ class SSD:
         yield from self.channels.control_call(self.runtime.unload_module(mid))
 
     # ------------------------------------------------------------------ files
-    def file(self, path: str, use_matcher: bool = False) -> DeviceFile:
+    def file(self, path: str, use_matcher: bool = False,
+             cache_bypass: bool = False) -> DeviceFile:
         """Create a file token, granting SSDlet access (paper: File(ssd, p))."""
-        return DeviceFile(self, path, use_matcher=use_matcher)
+        return DeviceFile(self, path, use_matcher=use_matcher,
+                          cache_bypass=cache_bypass)
 
     # --------------------------------------------------------------- sessions
     def create_session(self, user: str, memory_quota: int = 64 * 1024 * 1024):

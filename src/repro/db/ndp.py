@@ -147,7 +147,12 @@ class NDPContext:
 
         app = Application(self.ssd, "ndp-%s" % ref.name)
         use_matcher = engine.config.ndp_use_matcher
-        token = DeviceFile(self.ssd, storage.path, use_matcher=use_matcher)
+        # A full-table scan is the canonical streaming read: it must not
+        # evict the device cache's hot working set (index pages, chased
+        # pointers), so the token streams past the cache even when the
+        # matcher is off (software_scan mode).
+        token = DeviceFile(self.ssd, storage.path, use_matcher=use_matcher,
+                           cache_bypass=True)
         num_pages = storage.num_pages
         workers = min(engine.config.ndp_parallel_ssdlets, max(1, num_pages))
         share = (num_pages + workers - 1) // workers
@@ -326,7 +331,8 @@ class NDPContextAggregateMixin:
 
         app = Application(self.ssd, "ndp-agg-%s" % ref.name)
         token = DeviceFile(self.ssd, storage.path,
-                           use_matcher=engine.config.ndp_use_matcher)
+                           use_matcher=engine.config.ndp_use_matcher,
+                           cache_bypass=True)
         num_pages = storage.num_pages
         workers = min(engine.config.ndp_parallel_ssdlets, max(1, num_pages))
         share = (num_pages + workers - 1) // workers

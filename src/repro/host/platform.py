@@ -73,11 +73,13 @@ class System:
         fs = self.filesystems[ssd]
         return FileHandle(fs, fs.lookup(path), internal=False, host_io=self.ios[ssd])
 
-    def open_internal(self, path: str, use_matcher: bool = False, ssd: int = 0) -> FileHandle:
+    def open_internal(self, path: str, use_matcher: bool = False, ssd: int = 0,
+                      cache_bypass: bool = False) -> FileHandle:
         """Open a file over the device-internal path (what an SSDlet sees)."""
         fs = self.filesystems[ssd]
         return FileHandle(
-            fs, fs.lookup(path), internal=True, use_matcher=use_matcher
+            fs, fs.lookup(path), internal=True, use_matcher=use_matcher,
+            cache_bypass=cache_bypass,
         )
 
     # ------------------------------------------------------------- simulation

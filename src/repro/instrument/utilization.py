@@ -25,7 +25,9 @@ class UtilizationMonitor:
         self.sim = sim
         self.interval_ns = s_to_ns(interval_s)
         self._groups: Dict[str, List[Resource]] = {}
+        self._caches: Dict[str, object] = {}  # DeviceReadCache by group name
         self._last: Dict[str, int] = {}
+        self._last_cache: Dict[str, Tuple[int, int]] = {}  # (hits, lookups)
         self.series: Dict[str, List[Tuple[float, float]]] = {}
         self._fiber: Optional[Process] = None
 
@@ -39,6 +41,8 @@ class UtilizationMonitor:
                           [ch.bus for ch in device.nand.channels])
             monitor.watch("device-cores%s" % suffix, [device.cores])
             monitor.watch("pcie%s" % suffix, [device.interface.link])
+            if device.cache.enabled:
+                monitor.watch_cache("read-cache%s" % suffix, device.cache)
         return monitor
 
     # ----------------------------------------------------------------- setup
@@ -48,11 +52,21 @@ class UtilizationMonitor:
         self._groups[name] = list(resources)
         self.series[name] = []
 
+    def watch_cache(self, name: str, cache) -> None:
+        """Sample a device read cache's windowed hit rate alongside the
+        resource groups (its series plots hits / lookups per interval)."""
+        if self._fiber is not None:
+            raise RuntimeError("cannot add groups while running")
+        self._caches[name] = cache
+        self.series[name] = []
+
     def start(self) -> None:
         if self._fiber is not None:
             return
         for name in self._groups:
             self._last[name] = self._busy(name)
+        for name, cache in self._caches.items():
+            self._last_cache[name] = (cache.stats.hits, cache.stats.lookups)
         self._fiber = self.sim.process(self._sampler(), name="util-monitor")
         self._fiber.defused = True
 
@@ -80,6 +94,13 @@ class UtilizationMonitor:
                     self._last[name] = busy
                     utilization = delta / (self.interval_ns * self._capacity(name))
                     self.series[name].append((self.sim.now / 1e9, utilization))
+                for name, cache in self._caches.items():
+                    hits, lookups = cache.stats.hits, cache.stats.lookups
+                    last_hits, last_lookups = self._last_cache[name]
+                    self._last_cache[name] = (hits, lookups)
+                    window = lookups - last_lookups
+                    rate = (hits - last_hits) / window if window else 0.0
+                    self.series[name].append((self.sim.now / 1e9, rate))
         except Interrupt:
             return
 
@@ -115,8 +136,9 @@ class UtilizationMonitor:
 
     def report(self, width: int = 60) -> str:
         lines = []
-        label_width = max((len(name) for name in self._groups), default=0)
-        for name in self._groups:
+        names = list(self._groups) + list(self._caches)
+        label_width = max((len(name) for name in names), default=0)
+        for name in names:
             lines.append("%s |%s| mean %4.0f%% peak %4.0f%%" % (
                 name.rjust(label_width), self.sparkline(name, width),
                 self.mean(name) * 100, self.peak(name) * 100,

@@ -56,6 +56,20 @@ class SSDConfig:
     # (modeling read-retry voltage shifts on real NAND).
     read_retry_limit: int = 3
     read_retry_backoff_us: float = 40.0
+    # Device-DRAM read cache (a slice of the 1 GiB controller DRAM staged in
+    # front of the channels; see repro.ssd.cache).  Disabled by default so
+    # the paper-calibrated latencies (Table III, Fig. 7) are measured cold.
+    read_cache_bytes: int = 0  # 0 disables; line size = physical_page_bytes
+    read_cache_policy: str = "lru"  # "lru" | "2q" (scan-resistant, segmented)
+    read_cache_hot_fraction: float = 0.5  # 2q: share of lines in the hot list
+    # DRAM access + DMA setup for one cached stripe, replacing tR plus the
+    # channel-bus transfer on a hit.
+    read_cache_hit_us: float = 2.0
+    # Adjacent same-channel stripes of one read command are coalesced into a
+    # multi-page channel command paying one STRIPE_DISPATCH_US (the NAND ops
+    # still pipeline across dies).  1 disables coalescing.  Matcher-engaged
+    # reads never coalesce: the IP is reconfigured per stripe.
+    read_coalesce_limit: int = 8
     device_cores: int = 2  # ARM Cortex R7 cores available to Biscuit (Table I)
     device_core_mhz: float = 750.0
     # Effective software data-processing rate of the device cores.  Two
@@ -134,6 +148,11 @@ class SSDConfig:
         """Unit in which large requests are striped across channels."""
         return self.physical_page_bytes
 
+    @property
+    def read_cache_lines(self) -> int:
+        """Device-DRAM read-cache capacity in physical-page lines."""
+        return self.read_cache_bytes // self.physical_page_bytes
+
     def validate(self) -> None:
         if self.physical_page_bytes % self.logical_page_bytes:
             raise ValueError("physical page must be a multiple of the logical page")
@@ -147,3 +166,15 @@ class SSDConfig:
             raise ValueError("read_retry_limit cannot be negative")
         if self.read_retry_backoff_us < 0:
             raise ValueError("read_retry_backoff_us cannot be negative")
+        if self.read_cache_bytes < 0:
+            raise ValueError("read_cache_bytes cannot be negative")
+        if self.read_cache_bytes > self.dram_bytes:
+            raise ValueError("read cache cannot exceed controller DRAM")
+        if self.read_cache_policy not in ("lru", "2q"):
+            raise ValueError("read_cache_policy must be 'lru' or '2q'")
+        if not 0.0 < self.read_cache_hot_fraction < 1.0:
+            raise ValueError("read_cache_hot_fraction out of range")
+        if self.read_cache_hit_us < 0:
+            raise ValueError("read_cache_hit_us cannot be negative")
+        if self.read_coalesce_limit < 1:
+            raise ValueError("read_coalesce_limit must be at least 1")

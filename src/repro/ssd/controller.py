@@ -5,6 +5,17 @@ Requests are striped across channels at physical-page granularity, so a large
 read streams from all 16 channels concurrently — that concurrency *is* the
 internal bandwidth advantage the paper measures in Fig. 7.
 
+Two fast paths sit in front of the NAND:
+
+* a **device-DRAM read cache** (:class:`repro.ssd.cache.DeviceReadCache`,
+  enabled via ``SSDConfig.read_cache_bytes``) consulted per stripe — a hit
+  pays a DRAM access instead of tR + the channel-bus transfer.  Streaming
+  scans (matcher-engaged reads, or handles opened with ``cache_bypass``)
+  stream past it so one table scan cannot evict the hot working set;
+* **stripe coalescing**: adjacent same-channel stripes of one command merge
+  into a multi-page channel command paying one ``STRIPE_DISPATCH_US`` (the
+  per-stripe NAND operations still pipeline across the channel's dies).
+
 Placement: pages written through the FTL read back from their mapped
 location.  Pages that were never written through the FTL (paper-scale
 synthetic datasets; see DESIGN.md "analytic mode") fall back to a
@@ -14,36 +25,83 @@ channel contention.
 
 from __future__ import annotations
 
-from typing import Generator, List, Optional, Sequence, Tuple
+from typing import Generator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.errors import EccError, UncorrectableReadError
 from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.units import us_to_ns
+from repro.ssd.cache import DeviceReadCache
 from repro.ssd.config import SSDConfig
 from repro.ssd.ftl import FTL
 from repro.ssd.nand import NandArray
 
-__all__ = ["Controller", "ReadStats"]
+__all__ = ["Controller", "ReadStats", "Stripe"]
+
+
+class Stripe(NamedTuple):
+    """One per-channel unit of a striped command."""
+
+    channel: int
+    physical: int
+    lpns: Tuple[int, ...]  # distinct logical pages resident in this stripe
 
 
 class ReadStats:
-    """Running counters of controller activity (used by the benches)."""
+    """Running counters of controller activity (used by the benches).
 
-    def __init__(self) -> None:
+    Command and page counters are charged *before* dispatch, so commands
+    that die with :class:`UncorrectableReadError` still show up here (the
+    retry/recovery counters record how they died).
+    """
+
+    def __init__(self, logical_page_bytes: int = 4096,
+                 cache: Optional[DeviceReadCache] = None) -> None:
+        self.logical_page_bytes = logical_page_bytes
+        self.cache = cache
         self.read_commands = 0
         self.write_commands = 0
         self.logical_pages_read = 0
         self.logical_pages_written = 0
         self.matcher_commands = 0
+        self.coalesced_commands = 0  # multi-stripe channel commands issued
+        self.coalesced_stripes = 0  # stripes that rode in one (saved dispatch)
         self.read_retries = 0
         self.recovered_reads = 0
         self.unrecoverable_reads = 0
 
     @property
     def bytes_read(self) -> int:
-        # Filled in by the controller (config not known here); kept simple:
-        return self.logical_pages_read
+        return self.logical_pages_read * self.logical_page_bytes
+
+    @property
+    def bytes_written(self) -> int:
+        return self.logical_pages_written * self.logical_page_bytes
+
+    # ------------------------------------------------- device-DRAM read cache
+    @property
+    def cache_hits(self) -> int:
+        return self.cache.stats.hits if self.cache is not None else 0
+
+    @property
+    def cache_misses(self) -> int:
+        return self.cache.stats.misses if self.cache is not None else 0
+
+    @property
+    def cache_evictions(self) -> int:
+        return self.cache.stats.evictions if self.cache is not None else 0
+
+    @property
+    def cache_invalidations(self) -> int:
+        return self.cache.stats.invalidations if self.cache is not None else 0
+
+    @property
+    def cache_bypasses(self) -> int:
+        return self.cache.stats.bypasses if self.cache is not None else 0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        return self.cache.stats.hit_rate if self.cache is not None else 0.0
 
 
 class Controller:
@@ -52,7 +110,8 @@ class Controller:
     # Per-stripe dispatch cost on a device core (command parsing, FTL lookup
     # batch, DMA setup).  Small enough that two Cortex-R7s never bottleneck
     # plain reads; matcher control (config.matcher_control_us_per_stripe) is
-    # charged on top when the IP is engaged.
+    # charged on top when the IP is engaged.  Coalesced channel commands pay
+    # it once for the whole run of adjacent stripes.
     STRIPE_DISPATCH_US = 0.5
 
     def __init__(
@@ -62,13 +121,15 @@ class Controller:
         nand: NandArray,
         ftl: FTL,
         cores: Resource,
+        cache: Optional[DeviceReadCache] = None,
     ):
         self.sim = sim
         self.config = config
         self.nand = nand
         self.ftl = ftl
         self.cores = cores
-        self.stats = ReadStats()
+        self.cache = cache
+        self.stats = ReadStats(config.logical_page_bytes, cache=cache)
 
     # -------------------------------------------------------------- placement
     def placement(self, lpn: int) -> Tuple[int, int]:
@@ -89,63 +150,136 @@ class Controller:
         physical_index = lpn // slots
         return physical_index % self.config.channels, physical_index
 
-    def _group_stripes(self, lpns: Sequence[int]) -> List[Tuple[int, int, int]]:
-        """Coalesce logical pages into (channel, physical_page, n_slots) stripes."""
+    def _group_stripes(self, lpns: Sequence[int]) -> List[Stripe]:
+        """Coalesce logical pages into per-physical-page stripes.
+
+        Duplicate LPNs in one request collapse to a single slot: the page is
+        sensed and transferred once, so a request that repeats a page must
+        not inflate the NAND transfer size.
+        """
         groups: dict = {}
         for lpn in lpns:
             channel, physical = self.placement(lpn)
-            key = (channel, physical)
-            groups[key] = groups.get(key, 0) + 1
+            groups.setdefault((channel, physical), set()).add(lpn)
         slots = self.config.logical_pages_per_physical
         return [
-            (channel, physical, min(count, slots))
-            for (channel, physical), count in groups.items()
+            Stripe(channel, physical, tuple(sorted(page_lpns))[:slots])
+            for (channel, physical), page_lpns in groups.items()
         ]
 
+    def _coalesce(self, stripes: List[Stripe],
+                  use_matcher: bool) -> List[List[Stripe]]:
+        """Merge adjacent same-channel stripes into multi-page commands.
+
+        Adjacency: consecutive physical ids in the channel's sorted stripe
+        order no further apart than the channel count (covers both
+        FTL-contiguous pages and the synthetic round-robin stride).  Matcher
+        reads never coalesce — the IP is reconfigured per stripe, so there
+        is no dispatch to amortize.
+        """
+        limit = 1 if use_matcher else self.config.read_coalesce_limit
+        if limit <= 1 or len(stripes) <= 1:
+            return [[stripe] for stripe in stripes]
+        per_channel: dict = {}
+        for stripe in stripes:
+            per_channel.setdefault(stripe.channel, []).append(stripe)
+        batches: List[List[Stripe]] = []
+        for channel in sorted(per_channel):
+            run: List[Stripe] = []
+            for stripe in sorted(per_channel[channel],
+                                 key=lambda s: s.physical):
+                if (run and len(run) < limit
+                        and stripe.physical - run[-1].physical
+                        <= self.config.channels):
+                    run.append(stripe)
+                else:
+                    if run:
+                        batches.append(run)
+                    run = [stripe]
+            batches.append(run)
+        return batches
+
     # ------------------------------------------------------------------ read
-    def read_pages(self, lpns: Sequence[int], use_matcher: bool = False) -> Generator:
+    def read_pages(self, lpns: Sequence[int], use_matcher: bool = False,
+                   cache_bypass: bool = False) -> Generator:
         """Fiber: read logical pages, striped across channels.
 
         With ``use_matcher`` the per-channel matcher IP is engaged: data flows
         through the matchers at wire speed, but each stripe costs extra
-        device-CPU time to control the IP.
+        device-CPU time to control the IP.  Matcher reads (and reads with
+        ``cache_bypass``) stream past the device-DRAM read cache.
         """
         if not lpns:
             return
+        stripes = self._group_stripes(lpns)
+        # Command/page accounting happens before dispatch so reads that die
+        # with UncorrectableReadError are still visible in the stats.
+        self.stats.read_commands += 1
+        self.stats.logical_pages_read += sum(len(s.lpns) for s in stripes)
+        if use_matcher:
+            self.stats.matcher_commands += 1
+            # A matcher-engaged read is a streaming scan by construction:
+            # never let it thrash the hot working set.
+            cache_bypass = True
         # Per-command firmware cost on a device core.
         yield from self._occupy_core(self.config.firmware_read_overhead_us)
-        stripes = self._group_stripes(lpns)
-        if len(stripes) == 1:
-            # Fast path: single-stripe commands (point reads, index probes)
+        batches = self._coalesce(stripes, use_matcher)
+        for batch in batches:
+            if len(batch) > 1:
+                self.stats.coalesced_commands += 1
+                self.stats.coalesced_stripes += len(batch) - 1
+        if len(batches) == 1:
+            # Fast path: single-channel commands (point reads, index probes)
             # run inline — no fan-out fibers to spawn or join.
-            channel_index, physical, slot_count = stripes[0]
-            yield from self._read_stripe(channel_index, physical, slot_count, use_matcher)
+            yield from self._read_batch(batches[0], use_matcher, cache_bypass)
         else:
             ops = [
                 self.sim.process(
-                    self._read_stripe(channel_index, physical, slot_count, use_matcher),
-                    name="stripe ch%d" % channel_index,
+                    self._read_batch(batch, use_matcher, cache_bypass),
+                    name="stripe ch%d" % batch[0].channel,
                 )
-                for channel_index, physical, slot_count in stripes
+                for batch in batches
             ]
             yield all_of(self.sim, ops)
-        self.stats.read_commands += 1
-        self.stats.logical_pages_read += len(lpns)
-        if use_matcher:
-            self.stats.matcher_commands += 1
 
-    def _read_stripe(self, channel_index: int, physical_page: int,
-                     slot_count: int, use_matcher: bool) -> Generator:
+    def _read_batch(self, batch: List[Stripe], use_matcher: bool,
+                    cache_bypass: bool) -> Generator:
+        """Fiber: one channel command covering a run of adjacent stripes."""
         dispatch_us = self.STRIPE_DISPATCH_US
         if use_matcher:
-            dispatch_us += self.config.matcher_control_us_per_stripe
+            dispatch_us += self.config.matcher_control_us_per_stripe * len(batch)
         yield from self._occupy_core(dispatch_us)
-        transfer = slot_count * self.config.logical_page_bytes
+        if len(batch) == 1:
+            yield from self._read_stripe(batch[0], cache_bypass)
+            return
+        # The batched stripes still land on distinct dies/pages: issue their
+        # media operations concurrently so the channel keeps pipelining
+        # senses against bus transfers (only the dispatch was amortized).
+        ops = [
+            self.sim.process(self._read_stripe(stripe, cache_bypass),
+                             name="page ch%d p%d" % (stripe.channel,
+                                                     stripe.physical))
+            for stripe in batch
+        ]
+        yield all_of(self.sim, ops)
+
+    def _read_stripe(self, stripe: Stripe, cache_bypass: bool) -> Generator:
+        cache = self.cache
+        if cache is not None and cache.enabled:
+            if cache_bypass:
+                cache.note_bypass()
+            elif cache.lookup(stripe.channel, stripe.physical):
+                # Served from controller DRAM: no sense, no channel bus.
+                hit_ns = us_to_ns(self.config.read_cache_hit_us)
+                if hit_ns > 0:
+                    yield self.sim.timeout(hit_ns)
+                return
+        transfer = len(stripe.lpns) * self.config.logical_page_bytes
         attempt = 0
         while True:
             try:
-                yield from self.nand[channel_index].read(
-                    transfer, physical_page=physical_page)
+                yield from self.nand[stripe.channel].read(
+                    transfer, physical_page=stripe.physical)
             except EccError as exc:
                 attempt += 1
                 self.stats.read_retries += 1
@@ -153,7 +287,7 @@ class Controller:
                     self.stats.unrecoverable_reads += 1
                     raise UncorrectableReadError(
                         "read retries exhausted after %d attempts" % attempt,
-                        channel=channel_index, page=physical_page) from exc
+                        channel=stripe.channel, page=stripe.physical) from exc
                 # Read-retry with a shifted sense voltage; each pass waits a
                 # little longer before hitting the die again.
                 backoff_us = self.config.read_retry_backoff_us * attempt
@@ -165,6 +299,8 @@ class Controller:
             else:
                 if attempt:
                     self.stats.recovered_reads += 1
+                if cache is not None and cache.enabled and not cache_bypass:
+                    cache.insert(stripe.channel, stripe.physical, stripe.lpns)
                 return
 
     # ----------------------------------------------------------------- write
@@ -172,10 +308,12 @@ class Controller:
         """Fiber: write logical pages through the FTL."""
         if not lpns:
             return
-        yield from self._occupy_core(self.config.firmware_write_overhead_us)
-        yield from self.ftl.write(list(lpns))
+        # Accounted before dispatch, like reads: a write that dies mid-GC
+        # (OutOfSpaceError, UncorrectableReadError) was still issued.
         self.stats.write_commands += 1
         self.stats.logical_pages_written += len(lpns)
+        yield from self._occupy_core(self.config.firmware_write_overhead_us)
+        yield from self.ftl.write(list(lpns))
 
     def flush(self) -> Generator:
         yield from self.ftl.flush()

@@ -13,6 +13,7 @@ from typing import Dict, Generator, List, Optional, Sequence
 
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
+from repro.ssd.cache import DeviceReadCache
 from repro.ssd.config import SSDConfig
 from repro.ssd.controller import Controller
 from repro.ssd.ftl import FTL
@@ -32,11 +33,15 @@ class SSDDevice:
         self.config = config or SSDConfig()
         self.config.validate()
         self.nand = NandArray(sim, self.config)
-        self.ftl = FTL(sim, self.config, self.nand)
+        # A slice of the controller DRAM staged as a read cache in front of
+        # the channels (read_cache_bytes = 0 leaves it disabled).
+        self.cache = DeviceReadCache(self.config)
+        self.ftl = FTL(sim, self.config, self.nand, read_cache=self.cache)
         # The two ARM cores Biscuit may use (Table I).  Firmware I/O dispatch
         # and SSDlet compute contend for them.
         self.cores = Resource(sim, capacity=self.config.device_cores, name="device-cores")
-        self.controller = Controller(sim, self.config, self.nand, self.ftl, self.cores)
+        self.controller = Controller(sim, self.config, self.nand, self.ftl,
+                                     self.cores, cache=self.cache)
         self.interface = HostInterface(sim, self.config, fabric=fabric)
         self.matchers = [
             PatternMatcher(self.config, i) for i in range(self.config.channels)
@@ -61,13 +66,16 @@ class SSDDevice:
         self.ftl.trim(list(lpns))
 
     # -------------------------------------------------------------- timed I/O
-    def internal_read(self, lpns: Sequence[int], use_matcher: bool = False) -> Generator:
+    def internal_read(self, lpns: Sequence[int], use_matcher: bool = False,
+                      cache_bypass: bool = False) -> Generator:
         """Fiber: device-internal read (the Biscuit data path, Table III).
 
         No host-interface crossing: this is the latency/bandwidth advantage
-        NDP taps.
+        NDP taps.  ``cache_bypass`` streams past the device-DRAM read cache
+        (streaming scans must not evict the hot working set).
         """
-        yield from self.controller.read_pages(lpns, use_matcher=use_matcher)
+        yield from self.controller.read_pages(lpns, use_matcher=use_matcher,
+                                              cache_bypass=cache_bypass)
 
     def internal_write(self, lpns: Sequence[int]) -> Generator:
         """Fiber: device-internal write through the FTL."""
@@ -106,6 +114,11 @@ class SSDDevice:
     @property
     def internal_bytes_read(self) -> int:
         return self.nand.bytes_read
+
+    @property
+    def cache_stats(self):
+        """Counters of the device-DRAM read cache (hits, misses, ...)."""
+        return self.cache.stats
 
     def channel_utilization(self) -> float:
         channels = self.nand.channels

@@ -79,11 +79,16 @@ class FTL:
 
     GC_FREE_THRESHOLD = 2  # run GC when a die has fewer free blocks than this
 
-    def __init__(self, sim: Simulator, config: SSDConfig, nand: NandArray):
+    def __init__(self, sim: Simulator, config: SSDConfig, nand: NandArray,
+                 read_cache=None):
         config.validate()
         self.sim = sim
         self.config = config
         self.nand = nand
+        #: Device-DRAM read cache (repro.ssd.cache.DeviceReadCache) to keep
+        #: coherent with the mapping: a remapped LPN, a reprogrammed physical
+        #: page, or an erased block must never serve a stale line.
+        self.read_cache = read_cache
         self._dies = [
             _Die(channel, die, config)
             for channel in range(config.channels)
@@ -152,6 +157,10 @@ class FTL:
 
     # ----------------------------------------------------------- internals
     def _invalidate(self, lpn: int) -> None:
+        # Unconditional: a page placed synthetically (never FTL-mapped) may
+        # still sit in the read cache and is about to change placement.
+        if self.read_cache is not None:
+            self.read_cache.invalidate_lpn(lpn)
         old = self._map.get(lpn)
         if old is None:
             return
@@ -163,6 +172,11 @@ class FTL:
 
     def _die_at(self, channel: int, die: int) -> _Die:
         return self._dies[channel * self.config.dies_per_channel + die]
+
+    def _physical_id(self, die: _Die, block_index: int, page: int) -> int:
+        """Physical page id as the controller's placement() derives it."""
+        return ((die.die * self.config.blocks_per_die + block_index)
+                * self.config.pages_per_block + page)
 
     def _allocate_block(self, die: _Die) -> _Block:
         if not die.free:
@@ -178,6 +192,10 @@ class FTL:
         once the page fills, else None.  May run GC first."""
         if not relocation:
             yield from self._maybe_gc(die)
+        elif self.read_cache is not None:
+            # GC relocation remaps the LPN without passing through
+            # _invalidate: drop it from its old cached line here.
+            self.read_cache.invalidate_lpn(lpn)
         if die.open_block is None:
             die.open_block = self._allocate_block(die)
             die.next_page = 0
@@ -201,6 +219,12 @@ class FTL:
         die.pending = []
         transfer = filled * self.config.logical_page_bytes
         self.physical_pages_programmed += 1
+        if self.read_cache is not None:
+            # The physical page gets new contents: a line cached before this
+            # block's last erase must not survive the reprogram.
+            self.read_cache.invalidate_physical(
+                die.channel, self._physical_id(die, die.open_block.index,
+                                               die.next_page))
         channel = self.nand[die.channel]
         event = self.sim.process(channel.program(transfer),
                                  name="prog ch%d d%d" % (die.channel, die.die))
@@ -261,6 +285,11 @@ class FTL:
                 yield event
         yield from channel.erase()
         victim.wipe(self.config.pages_per_block, self.config.logical_pages_per_physical)
+        if self.read_cache is not None:
+            # Erased media: every cached line over this block is dead.
+            self.read_cache.invalidate_physical_range(
+                die.channel, self._physical_id(die, victim.index, 0),
+                self.config.pages_per_block)
         die.free.append(victim)
 
     def _gc_read(self, channel, transfer: int, physical: int,

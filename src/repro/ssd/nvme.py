@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Generator
 
-from repro.sim.engine import Simulator
+from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns
 from repro.ssd.config import SSDConfig
@@ -81,14 +81,26 @@ class HostInterface:
         if num_bytes <= 0:
             return
         self.commands += 1
+        if self.fabric is None:
+            yield from self._link_hop(num_bytes)
+            return
+        # A switched PCIe fabric is cut-through, not store-and-forward: the
+        # payload streams over the device link and the shared upstream switch
+        # concurrently, so one transfer costs the slower of the two hops —
+        # and the switch still serializes competing devices (the Section V-B
+        # fabric-bottleneck interference).
+        hops = [
+            self.sim.process(self._link_hop(num_bytes), name="pcie-hop"),
+            self.sim.process(self.fabric.transfer(num_bytes), name="fabric-hop"),
+        ]
+        yield all_of(self.sim, hops)
+
+    def _link_hop(self, num_bytes: int) -> Generator:
         yield self.link.request()
         try:
             yield self.sim.timeout(transfer_ns(num_bytes, self.config.pcie_bytes_per_sec))
         finally:
             self.link.release()
-        if self.fabric is not None:
-            # The payload also crosses the shared upstream switch.
-            yield from self.fabric.transfer(num_bytes)
 
     def utilization(self) -> float:
         return self.link.utilization()

@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 #: Bump when a generator change invalidates old REPRO lines.
-GENERATOR_VERSION = "v1"
+GENERATOR_VERSION = "v2"  # v2: device-DRAM read cache drawn into the geometry
 
 #: String-column vocabulary: ≥4-char words so LIKE prefixes stay HW-usable.
 WORDS = ("alpha", "bravo", "carbon", "delta", "ember",
@@ -49,18 +49,29 @@ WORDS = ("alpha", "bravo", "carbon", "delta", "ember",
 
 # ----------------------------------------------------------------- SSD config
 def gen_ssd_config(rng: random.Random) -> SSDConfig:
-    """A small randomized geometry (fast to simulate, still multi-channel)."""
+    """A small randomized geometry (fast to simulate, still multi-channel).
+
+    The device-DRAM read cache is drawn in too (off / tiny / comfortable ×
+    both policies), so every differential sweep exercises cached and
+    uncached reads against the same reference rows — a stale cache line
+    would surface as a latency anomaly and, more importantly, any
+    cache-path bug that corrupts control flow surfaces as a mismatch.
+    """
     logical = rng.choice([2 * KIB, 4 * KIB])
+    physical = logical * rng.choice([2, 4])
     return SSDConfig(
         channels=rng.choice([2, 4, 8]),
         dies_per_channel=rng.choice([2, 4]),
         logical_page_bytes=logical,
-        physical_page_bytes=logical * rng.choice([2, 4]),
+        physical_page_bytes=physical,
         pages_per_block=32,
         blocks_per_die=16,
         overprovision_ratio=rng.choice([0.1, 0.125, 0.2]),
         read_retry_limit=rng.choice([1, 2, 3]),
         read_retry_backoff_us=rng.choice([0.0, 20.0, 40.0]),
+        read_cache_bytes=physical * rng.choice([0, 0, 4, 64]),
+        read_cache_policy=rng.choice(["lru", "2q"]),
+        read_coalesce_limit=rng.choice([1, 4, 8]),
     )
 
 

@@ -1,0 +1,134 @@
+"""Controller accounting: byte counters, duplicate collapse, pre-dispatch
+charging, and stripe-coalescing bookkeeping."""
+
+import pytest
+
+from repro.core.errors import UncorrectableReadError
+from repro.sim.engine import Simulator
+from repro.ssd.config import SSDConfig
+from repro.ssd.device import SSDDevice
+from repro.testing.faults import FaultInjector, FaultPlan
+
+
+def make_device(**overrides):
+    sim = Simulator()
+    return sim, SSDDevice(sim, SSDConfig(**overrides))
+
+
+def run(sim, fiber):
+    start = sim.now
+    sim.run(sim.process(fiber))
+    return (sim.now - start) / 1e3  # microseconds
+
+
+# ------------------------------------------------------------- byte counters
+def test_bytes_read_counts_bytes_not_pages():
+    sim, device = make_device()
+    run(sim, device.internal_read([0, 1, 2]))
+    stats = device.controller.stats
+    assert stats.logical_pages_read == 3
+    assert stats.bytes_read == 3 * device.config.logical_page_bytes
+
+
+def test_bytes_written_counts_bytes_not_pages():
+    sim, device = make_device()
+    run(sim, device.internal_write(list(range(8))))
+    stats = device.controller.stats
+    assert stats.logical_pages_written == 8
+    assert stats.bytes_written == 8 * device.config.logical_page_bytes
+
+
+def test_bytes_read_tracks_configured_page_size():
+    sim, device = make_device(logical_page_bytes=2048,
+                              physical_page_bytes=8192)
+    run(sim, device.internal_read([0]))
+    assert device.controller.stats.bytes_read == 2048
+
+
+# --------------------------------------------------------- duplicate collapse
+def test_duplicate_lpns_collapse_to_one_slot():
+    sim, device = make_device()
+    run(sim, device.internal_read([5, 5, 5]))
+    stats = device.controller.stats
+    assert stats.read_commands == 1
+    assert stats.logical_pages_read == 1  # the page is sensed once
+    # The NAND transfer is one logical page, not three.
+    total = sum(ch.bytes_read for ch in device.nand.channels)
+    assert total == device.config.logical_page_bytes
+
+
+def test_duplicates_mixed_with_distinct_pages():
+    sim, device = make_device()
+    run(sim, device.internal_read([0, 1, 0, 2, 1]))
+    assert device.controller.stats.logical_pages_read == 3
+
+
+# ------------------------------------------------------ pre-dispatch charging
+def test_failed_read_is_still_counted():
+    sim, device = make_device(read_retry_limit=1)
+    device.attach_fault_injector(FaultInjector(FaultPlan(seed=5, ecc_rate=1.0)))
+    with pytest.raises(UncorrectableReadError):
+        run(sim, device.internal_read([0, 1, 2, 3]))
+    stats = device.controller.stats
+    assert stats.read_commands == 1  # visible even though the command died
+    assert stats.logical_pages_read == 4
+    assert stats.unrecoverable_reads >= 1
+
+
+def test_failed_write_is_still_counted():
+    # Geometry so small every block is needed: GC cannot reclaim anything
+    # once all pages are live, so the write path dies mid-command.
+    sim, device = make_device(channels=1, dies_per_channel=1,
+                              pages_per_block=2, blocks_per_die=2)
+    from repro.core.errors import OutOfSpaceError
+    with pytest.raises(OutOfSpaceError):
+        run(sim, device.internal_write(list(range(64))))
+    stats = device.controller.stats
+    assert stats.write_commands == 1
+    assert stats.logical_pages_written == 64
+
+
+# ------------------------------------------------------------ coalescing
+def test_adjacent_stripes_coalesce():
+    sim, device = make_device()
+    run(sim, device.internal_read(list(range(256))))  # 64 contiguous stripes
+    stats = device.controller.stats
+    assert stats.coalesced_commands > 0
+    assert stats.coalesced_stripes > 0
+
+
+def test_coalesce_limit_one_disables_merging():
+    sim, device = make_device(read_coalesce_limit=1)
+    run(sim, device.internal_read(list(range(256))))
+    stats = device.controller.stats
+    assert stats.coalesced_commands == 0
+    assert stats.coalesced_stripes == 0
+
+
+def test_coalescing_amortizes_dispatch_cpu():
+    # A big streaming read is channel-bound either way; what coalescing buys
+    # is device-core headroom — one STRIPE_DISPATCH_US per run instead of
+    # per stripe.  Compare core busy time, which is deterministic.
+    sim_merge, merged = make_device()
+    sim_solo, solo = make_device(read_coalesce_limit=1)
+    pages = list(range(512))
+    run(sim_merge, merged.internal_read(pages))
+    run(sim_solo, solo.internal_read(pages))
+    assert merged.cores.busy_area() < solo.cores.busy_area()
+
+
+def test_matcher_reads_never_coalesce():
+    sim, device = make_device()
+    run(sim, device.internal_read(list(range(256)), use_matcher=True))
+    stats = device.controller.stats
+    assert stats.matcher_commands == 1
+    assert stats.coalesced_commands == 0  # the IP is reprogrammed per stripe
+
+
+def test_scattered_reads_do_not_coalesce():
+    sim, device = make_device()
+    # Stride far past the adjacency window: every stripe is its own command.
+    pages = [lpn * 64 * device.config.logical_pages_per_physical
+             for lpn in range(16)]
+    run(sim, device.internal_read(pages))
+    assert device.controller.stats.coalesced_commands == 0

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.engine import Simulator, all_of
 from repro.sim.units import MIB
 from repro.ssd.config import SSDConfig
-from repro.ssd.nvme import HostInterface
+from repro.ssd.nvme import Fabric, HostInterface
 
 
 def make_interface(**overrides):
@@ -69,3 +69,44 @@ def test_utilization_reported():
 
     sim.run(sim.process(idle()))
     assert 0.4 < interface.utilization() < 0.6
+
+
+# --------------------------------------------------------------- fabric hops
+def test_fabric_transfer_is_cut_through_not_store_and_forward():
+    # Equal-rate fabric: the two hops overlap, so one transfer costs one hop
+    # (Table II port latencies depend on this — a serialized double charge
+    # would roughly double every Conv round trip behind a switch).
+    sim = Simulator()
+    config = SSDConfig()
+    fabric = Fabric(sim, config.pcie_bytes_per_sec)
+    interface = HostInterface(sim, config, fabric=fabric)
+    sim.run(sim.process(interface.transfer_to_host(32 * MIB)))
+    expected = 32 * MIB / config.pcie_bytes_per_sec
+    assert abs(sim.now_s - expected) / expected < 0.001
+
+
+def test_slow_fabric_costs_the_slower_hop():
+    sim = Simulator()
+    config = SSDConfig()
+    fabric = Fabric(sim, config.pcie_bytes_per_sec / 2)
+    interface = HostInterface(sim, config, fabric=fabric)
+    sim.run(sim.process(interface.transfer_to_host(32 * MIB)))
+    expected = 32 * MIB / (config.pcie_bytes_per_sec / 2)  # max, not sum
+    assert abs(sim.now_s - expected) / expected < 0.001
+
+
+def test_fabric_still_serializes_competing_devices():
+    sim = Simulator()
+    config = SSDConfig()
+    fabric = Fabric(sim, config.pcie_bytes_per_sec)
+    first = HostInterface(sim, config, fabric=fabric)
+    second = HostInterface(sim, config, fabric=fabric)
+    fibers = [
+        sim.process(first.transfer_to_host(32 * MIB)),
+        sim.process(second.transfer_to_host(32 * MIB)),
+    ]
+    sim.run(all_of(sim, fibers))
+    # Two devices' worth of bytes through one switch: 2x one hop.
+    expected = 2 * 32 * MIB / config.pcie_bytes_per_sec
+    assert abs(sim.now_s - expected) / expected < 0.001
+    assert fabric.bytes_moved == 2 * 32 * MIB

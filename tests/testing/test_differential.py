@@ -47,9 +47,10 @@ def test_small_sweep_with_faults_never_mismatches():
 
 
 def test_device_error_outcome_is_typed_with_context():
-    # Seed 2055 draws the harsh profile and loses a page to retry exhaustion
-    # (stable: the whole case derives from the seed).
-    result = run_case(2055, faults=True)
+    # Seed 2097 draws the harsh profile and loses a page to retry exhaustion
+    # (stable: the whole case derives from the seed; re-picked for the v2
+    # generator stream).
+    result = run_case(2097, faults=True)
     assert result.outcome == "device-error"
     assert "channel=" in result.detail
     assert result.fault_counters["ecc_injected"] > 0
@@ -93,7 +94,10 @@ def test_planted_matcher_bug_is_caught(monkeypatch):
         return wrapped
 
     monkeypatch.setattr(repro.db.ndp, "compile_expr", buggy_compile)
-    results = run_sweep(range(15), faults=False)
+    # Seed window re-picked for the v2 generator stream: these cases keep the
+    # wrapper on the *predicate* path (a min/max value expression corrupted to
+    # bool would crash instead of mismatching).
+    results = run_sweep(range(15, 30), faults=False)
     mismatches = [r for r in results if r.outcome == "mismatch"]
     assert mismatches, "harness failed to catch the planted device-side bug"
     assert all("REPRO:" in r.detail for r in mismatches)
