@@ -1,7 +1,15 @@
 PYTHON ?= python
 PYTEST = PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test test-fast test-faults bench
+# Modules held to mypy --strict (annotated typed-API surface; grow this list
+# as more of the tree is annotated).
+STRICT_TYPED = \
+	src/repro/core/errors.py \
+	src/repro/core/provenance.py \
+	src/repro/core/ssdlet.py \
+	src/repro/core/types.py
+
+.PHONY: test test-fast test-faults bench lint typecheck
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -18,3 +26,17 @@ test-faults:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
 	$(PYTEST) -q benchmarks/test_ablation_read_cache.py
+
+# Determinism/unit-discipline lint suite (exit 1 on any finding).
+lint:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --strict src/repro
+
+# mypy --strict over the typed surface.  Skips (exit 0) when mypy is not
+# installed — the container image has no network, so the gate only binds
+# where mypy is available (CI installs it).
+typecheck:
+	@if $(PYTHON) -c "import mypy" 2>/dev/null; then \
+		PYTHONPATH=src $(PYTHON) -m mypy --strict $(STRICT_TYPED); \
+	else \
+		echo "mypy not installed; skipping typecheck"; \
+	fi

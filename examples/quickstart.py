@@ -70,6 +70,9 @@ def main():
         token = DeviceFile(ssd, "/data/records.txt")
         ssdlet = SSDLetProxy(app, mid, "idLineFilter", (token, "ERROR"))
         port = app.connectTo(ssdlet.out(0), str)
+        # start() statically verifies the wiring first (type-matched ports,
+        # nothing dangling) and warns — or refuses, with verify="strict" —
+        # before any device state is committed.  See README "Static analysis".
         yield from app.start()
         matches = []
         while True:

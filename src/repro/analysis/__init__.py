@@ -1,0 +1,55 @@
+"""Static analysis for the Biscuit reproduction: ``repro.analysis``.
+
+Two pillars, both enforcing invariants the paper's C++11 framework gets
+from its compiler and our Python reproduction otherwise discovers at
+runtime (or never):
+
+* **Graph verifier** (:func:`verify_graph`, rules RPR101-RPR107) — checks a
+  built-or-declared SSDlet pipeline for port type mismatches, dangling
+  required ports, duplicate SPSC bindings, unreachable SSDlets and cycles,
+  with file:line provenance of the offending wiring call.
+  ``Application.start()`` runs it automatically (warn-by-default;
+  ``verify="strict"`` refuses to start a broken graph).
+
+* **Determinism lint suite** (``python -m repro.analysis``, rules
+  RPR001-RPR006) — walks source ASTs and flags wall-clock reads, unseeded
+  randomness, hash-ordered iteration, unit-suffix violations, blocking I/O
+  in fibers and discarded simulator events.  ``# repro: noqa RPRxxx``
+  waives a finding on its line.
+"""
+
+from repro.analysis.findings import (
+    Finding,
+    GRAPH_RULES,
+    LINT_RULES,
+    RULES,
+    Rule,
+    describe_rule,
+    rule_ids,
+)
+from repro.analysis.graph import GraphVerificationError, verify_graph, verify_links
+from repro.analysis.linter import (
+    JSON_SCHEMA_VERSION,
+    lint_file,
+    lint_paths,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "RULES",
+    "LINT_RULES",
+    "GRAPH_RULES",
+    "rule_ids",
+    "describe_rule",
+    "GraphVerificationError",
+    "verify_graph",
+    "verify_links",
+    "lint_file",
+    "lint_paths",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]

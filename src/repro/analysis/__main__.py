@@ -1,0 +1,111 @@
+"""CLI: ``python -m repro.analysis [--strict] [--json] [paths...]``.
+
+Exit codes:
+
+* 0 — clean (or findings present but ``--strict`` not given: advisory mode)
+* 1 — findings present under ``--strict``
+* 2 — usage error (unknown rule ID, missing path)
+
+The CI gate runs ``python -m repro.analysis --strict src/repro``; the
+shipped tree must stay clean (fix the code or add a reasoned
+``# repro: noqa RPRxxx`` waiver — waivers are findings the tree carries on
+purpose, and ``--list-waivers`` audits them).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from repro.analysis.findings import RULES, describe_rule
+from repro.analysis.linter import (
+    iter_python_files,
+    lint_paths,
+    parse_noqa,
+    render_json,
+    render_text,
+)
+
+
+def _default_target() -> List[str]:
+    here = os.path.dirname(os.path.abspath(__file__))
+    return [os.path.dirname(here)]  # src/repro
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule in RULES:
+        lines.append("%s  %s" % (rule.id, rule.title))
+        lines.append("        %s" % rule.rationale)
+    return "\n".join(lines)
+
+
+def _list_waivers(paths: List[str]) -> str:
+    lines = []
+    for path in iter_python_files(paths):
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        source_lines = source.splitlines()
+        for lineno, ids in sorted(parse_noqa(source).items()):
+            which = "ALL" if ids is None else ",".join(sorted(ids))
+            lines.append("%s:%d: noqa %s | %s"
+                         % (path, lineno, which, source_lines[lineno - 1].strip()))
+    return "\n".join(lines) if lines else "no waivers"
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static determinism lint for the Biscuit reproduction.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories "
+                        "(default: the installed repro package)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 when findings remain")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="machine-readable output")
+    parser.add_argument("--select", default=None,
+                        help="comma-separated rule IDs to run (e.g. "
+                        "RPR001,RPR003)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--list-waivers", action="store_true",
+                        help="print every noqa waiver in the target and exit")
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        print(_list_rules())
+        return 0
+
+    select = None
+    if options.select:
+        select = [part.strip() for part in options.select.split(",") if part.strip()]
+        for rule_id in select:
+            if describe_rule(rule_id) is None:
+                print("unknown rule ID: %s" % rule_id, file=sys.stderr)
+                return 2
+
+    paths = options.paths or _default_target()
+    for path in paths:
+        if not os.path.exists(path):
+            print("no such path: %s" % path, file=sys.stderr)
+            return 2
+
+    if options.list_waivers:
+        print(_list_waivers(paths))
+        return 0
+
+    findings, checked = lint_paths(paths, select=select)
+    if options.as_json:
+        print(render_json(findings, checked))
+    else:
+        print(render_text(findings, checked))
+    if findings and options.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

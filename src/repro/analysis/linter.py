@@ -1,0 +1,166 @@
+"""Lint driver: walk files, run the AST rules, honor noqa waivers, render.
+
+Waivers are line-scoped comments::
+
+    started = time.time()  # repro: noqa RPR001 -- CLI progress, never sim time
+
+``# repro: noqa`` with no IDs waives every rule on that line.  The trailing
+``-- reason`` is free text (strongly encouraged: waivers are part of the
+audit trail).
+
+Output is deterministic: files walk in sorted order, findings sort by
+(path, line, col, rule), and the JSON schema is versioned so snapshots in
+tests catch accidental drift.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import json
+import os
+import re
+import tokenize
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.findings import Finding, RULES
+from repro.analysis.rules import check_module
+
+__all__ = [
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "parse_noqa",
+    "render_text",
+    "render_json",
+    "JSON_SCHEMA_VERSION",
+]
+
+JSON_SCHEMA_VERSION = 1
+
+_NOQA_RE = re.compile(
+    r"#\s*repro:\s*noqa(?:\s+(?P<ids>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
+)
+
+
+def parse_noqa(source: str) -> Dict[int, Optional[Set[str]]]:
+    """Map 1-indexed line -> waived rule IDs (None = waive everything).
+
+    Only real ``COMMENT`` tokens count — a ``# repro: noqa`` quoted inside a
+    docstring or string literal is documentation, not a waiver.
+    """
+    waivers: Dict[int, Optional[Set[str]]] = {}
+    readline = io.StringIO(source).readline
+    try:
+        tokens = list(tokenize.generate_tokens(readline))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return waivers
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _NOQA_RE.search(token.string)
+        if match is None:
+            continue
+        ids = match.group("ids")
+        lineno = token.start[0]
+        if ids is None:
+            waivers[lineno] = None
+        else:
+            waivers[lineno] = {part.strip() for part in ids.split(",")}
+    return waivers
+
+
+def _apply_noqa(findings: List[Finding],
+                waivers: Dict[int, Optional[Set[str]]]) -> List[Finding]:
+    kept = []
+    for finding in findings:
+        waived = waivers.get(finding.line)
+        if waived is None and finding.line in waivers:
+            continue  # bare noqa
+        if waived is not None and finding.rule in waived:
+            continue
+        kept.append(finding)
+    return kept
+
+
+def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one file; returns findings surviving noqa waivers."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding("RPR000", "syntax error: %s" % exc.msg, path,
+                        exc.lineno or 0, exc.offset or 0)]
+    findings = check_module(tree, path)
+    findings = _apply_noqa(findings, parse_noqa(source))
+    if select:
+        wanted = set(select)
+        findings = [f for f in findings if f.rule in wanted]
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    out: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for dirpath, dirnames, filenames in os.walk(path):
+                dirnames.sort()
+                dirnames[:] = [d for d in dirnames if d != "__pycache__"]
+                for filename in sorted(filenames):
+                    if filename.endswith(".py"):
+                        out.append(os.path.join(dirpath, filename))
+        elif path.endswith(".py"):
+            out.append(path)
+    seen: Set[str] = set()
+    for path in sorted(out):
+        if path not in seen:
+            seen.add(path)
+            yield path
+
+
+def lint_paths(paths: Sequence[str],
+               select: Optional[Sequence[str]] = None) -> Tuple[List[Finding], int]:
+    """Lint every python file under ``paths``; returns (findings, files)."""
+    findings: List[Finding] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        checked += 1
+        findings.extend(lint_file(path, select=select))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings, checked
+
+
+# ------------------------------------------------------------------ output
+def render_text(findings: Sequence[Finding], checked_files: int) -> str:
+    lines = [finding.render() for finding in findings]
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    if findings:
+        summary = ", ".join("%s x%d" % (rule, counts[rule])
+                            for rule in sorted(counts))
+        lines.append("")
+        lines.append("%d finding%s in %d file%s (%s)" % (
+            len(findings), "s" if len(findings) != 1 else "",
+            checked_files, "s" if checked_files != 1 else "", summary))
+    else:
+        lines.append("%d file%s clean" % (
+            checked_files, "s" if checked_files != 1 else ""))
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], checked_files: int) -> str:
+    counts: Dict[str, int] = {}
+    for finding in findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "checked_files": checked_files,
+        "findings": [finding.to_json() for finding in findings],
+        "counts": {rule: counts[rule] for rule in sorted(counts)},
+        "rules": {rule.id: rule.title for rule in RULES},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

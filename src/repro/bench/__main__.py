@@ -58,10 +58,10 @@ def main(argv=None) -> int:
     for name in chosen:
         title, fn, takes_sf = EXPERIMENTS[name]
         print("\n### %s" % title)
-        started = time.time()
+        started = time.time()  # repro: noqa RPR001 -- CLI wall-clock progress, never simulated time
         result = fn(args.sf) if (takes_sf and args.sf is not None) else fn()
         print(result.format())
-        print("[%.1fs wall]" % (time.time() - started))
+        print("[%.1fs wall]" % (time.time() - started))  # repro: noqa RPR001 -- CLI wall-clock progress
         if not args.no_save:
             path = save_result(result, name)
             print("saved: %s" % path)

@@ -208,8 +208,8 @@ def _bandwidth(system: System, path: str, request_bytes: int, total_bytes: int,
         yield all_of(system.sim, fibers)
 
     system.run_fiber(program())
-    elapsed = (system.sim.now - start) / 1e9
-    return requests * request_bytes / elapsed / 1e9
+    elapsed_s = (system.sim.now - start) / 1e9
+    return requests * request_bytes / elapsed_s / 1e9
 
 
 def exp_fig7_read_bandwidth(

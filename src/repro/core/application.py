@@ -12,9 +12,11 @@ channels are completely set up" (Section III-E).
 from __future__ import annotations
 
 import itertools
+import os
+import warnings
 from typing import Any, Generator, List, Optional, Tuple
 
-from repro.core.errors import PortConnectionError, TypeMismatchError
+from repro.core.errors import GraphWarning, PortConnectionError, TypeMismatchError
 from repro.core.ports import (
     Connection,
     HostInputPort,
@@ -22,9 +24,13 @@ from repro.core.ports import (
     PortKind,
     connect_ports,
 )
+from repro.core.provenance import caller_site
 from repro.core.types import spec_name
 
 __all__ = ["Application", "SSDLetProxy", "Endpoint"]
+
+#: Graph-verifier modes accepted by ``Application(..., verify=...)``.
+VERIFY_MODES = ("off", "warn", "strict")
 
 
 class Endpoint:
@@ -71,6 +77,7 @@ class SSDLetProxy:
         self.args = tuple(args)
         self.instance = None  # device-side SSDLet, set by Application.start
         self.ssdlet_class = app.ssd.runtime._get_module(mid).module.lookup(class_id)
+        self.site = caller_site()  # where the user declared this instance
         app._register_proxy(self)
 
     def out(self, index: int) -> Endpoint:
@@ -85,7 +92,7 @@ class Application:
 
     _names = itertools.count(1)
 
-    def __init__(self, ssd, name: str = ""):
+    def __init__(self, ssd, name: str = "", verify: Optional[str] = None):
         self.ssd = ssd
         self.name = name or "app%d" % next(Application._names)
         self.device_app = ssd.runtime.register_application(self.name)
@@ -93,11 +100,19 @@ class Application:
         self._host_tasks: List[Any] = []  # HostTaskProxy list
         self._host_fibers: List[Any] = []
         self._links: List[Tuple[Endpoint, Endpoint]] = []
-        # (role, host_port, endpoint): role is "to-host" or "from-host"
-        self._host_links: List[Tuple[str, Any, Endpoint]] = []
+        self._link_sites: List[Any] = []  # caller sites parallel to _links
+        # (role, host_port, endpoint, site): role is "to-host" or "from-host"
+        self._host_links: List[Tuple[str, Any, Endpoint, Any]] = []
         self._data_channels_held = 0
         self.started = False
         self._conn_seq = itertools.count(1)
+        if verify is None:
+            verify = os.environ.get("REPRO_VERIFY_GRAPH", "warn")
+        if verify not in VERIFY_MODES:
+            raise ValueError(
+                "verify must be one of %r, got %r" % (VERIFY_MODES, verify)
+            )
+        self.verify_mode = verify
 
     def _register_proxy(self, proxy: SSDLetProxy) -> None:
         if self.started:
@@ -119,7 +134,10 @@ class Application:
                 "cannot connect %s output to %s input"
                 % (spec_name(out_ep.dtype), spec_name(in_ep.dtype))
             )
+        site = caller_site()
         self._links.append((out_ep, in_ep))
+        self._link_sites.append(site)
+        self._declare_link(out_ep, in_ep, site)
 
     def connectTo(self, out_ep: Endpoint, dtype: Any) -> HostInputPort:
         """Route an SSDlet output back to the host; returns the host port."""
@@ -132,7 +150,7 @@ class Application:
             self.ssd.system.sim, "host:%s" % self.name, len(self._host_links),
             dtype, self._host_compute, self.ssd.system.config,
         )
-        self._host_links.append(("to-host", port, out_ep))
+        self._host_links.append(("to-host", port, out_ep, caller_site()))
         return port
 
     def connectFrom(self, dtype: Any, in_ep: Endpoint) -> HostOutputPort:
@@ -147,14 +165,55 @@ class Application:
             dtype, self._host_compute, self._interface_to_device,
             self.ssd.system.config,
         )
-        self._host_links.append(("from-host", port, in_ep))
+        self._host_links.append(("from-host", port, in_ep, caller_site()))
         return port
+
+    def _declare_link(self, out_ep: Endpoint, in_ep: Endpoint, site) -> None:
+        """Record the link in the runtime-wide registry the verifier reads.
+
+        Inter-application links live in whichever Application's connect()
+        was called; the registry gives verify_graph() the full picture so a
+        peer application's ports are not reported dangling.
+        """
+        registry = getattr(self.ssd.runtime, "declared_links", None)
+        if registry is not None:
+            registry.append((out_ep, in_ep, site))
+
+    # ------------------------------------------------------------ verification
+    def verify(self) -> List[Any]:
+        """Statically verify the wired pipeline; returns the findings.
+
+        Does not warn or raise — ``start()`` does that according to
+        ``verify_mode`` ("warn" by default, "strict" to refuse startup,
+        "off" to skip; the ``REPRO_VERIFY_GRAPH`` environment variable sets
+        the default for applications built without an explicit mode).
+        """
+        from repro.analysis.graph import verify_graph
+
+        return verify_graph(self)
+
+    def _run_verifier(self) -> None:
+        if self.verify_mode == "off":
+            return
+        findings = self.verify()
+        if not findings:
+            return
+        if self.verify_mode == "strict":
+            from repro.analysis.graph import GraphVerificationError
+
+            raise GraphVerificationError(findings)
+        for finding in findings:
+            warnings.warn("graph verifier: %s" % finding.render(),
+                          GraphWarning, stacklevel=3)
 
     # ------------------------------------------------------------------ start
     def start(self) -> Generator:
         """Fiber: create instances, establish connections, begin execution."""
         if self.started:
             raise PortConnectionError("application %s already started" % self.name)
+        # Static checks first: reject (strict) or report (warn) a mis-wired
+        # graph before any control-channel round trip commits device state.
+        self._run_verifier()
         runtime = self.ssd.runtime
         manager = self.ssd.channels
         # 1. Create device instances (one control round trip each) and host
@@ -168,7 +227,7 @@ class Application:
         # 2. Wire device-side links (batched into one control call).
         yield from manager.control_call(self._wire_device_links())
         # 3. Wire host-device links; each takes a data channel from the pool.
-        for role, port, endpoint in self._host_links:
+        for role, port, endpoint, _site in self._host_links:
             yield from manager.acquire_data_channel()
             self._data_channels_held += 1
             connection = Connection(

@@ -7,8 +7,11 @@ runtime half of that story.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 __all__ = [
     "BiscuitError",
+    "GraphWarning",
     "TypeMismatchError",
     "NotSerializableError",
     "PortConnectionError",
@@ -25,6 +28,15 @@ __all__ = [
 
 class BiscuitError(Exception):
     """Base class for all Biscuit framework errors."""
+
+
+class GraphWarning(UserWarning):
+    """A static graph-verifier finding surfaced in warn (non-strict) mode.
+
+    Emitted by ``Application.start()`` when :func:`repro.analysis.verify_graph`
+    reports a mis-wired pipeline and the application was not built with
+    ``verify="strict"``.
+    """
 
 
 class TypeMismatchError(BiscuitError, TypeError):
@@ -68,8 +80,9 @@ class DeviceError(BiscuitError):
 
     _CONTEXT_FIELDS = ("channel", "die", "block", "page", "lpn")
 
-    def __init__(self, message: str, *, channel: int = None, die: int = None,
-                 block: int = None, page: int = None, lpn: int = None):
+    def __init__(self, message: str, *, channel: Optional[int] = None,
+                 die: Optional[int] = None, block: Optional[int] = None,
+                 page: Optional[int] = None, lpn: Optional[int] = None):
         self.channel = channel
         self.die = die
         self.block = block
@@ -81,7 +94,7 @@ class DeviceError(BiscuitError):
             message = "%s [%s]" % (message, rendered)
         super().__init__(message)
 
-    def context(self) -> dict:
+    def context(self) -> Dict[str, int]:
         """The known device-location fields, in a fixed order."""
         return {
             name: getattr(self, name)

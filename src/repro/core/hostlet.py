@@ -26,10 +26,14 @@ Example::
 from __future__ import annotations
 
 import itertools
-from typing import Any, ClassVar, Generator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, ClassVar, Generator, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:
+    from repro.core.application import Application, Endpoint
 
 from repro.core.errors import BiscuitError, TypeMismatchError
 from repro.core.ports import HostInputPort, HostOutputPort
+from repro.core.provenance import caller_site
 from repro.core.types import check_value
 
 __all__ = ["HostTask", "HostTaskProxy"]
@@ -43,8 +47,8 @@ class HostTask:
     ARG_TYPES: ClassVar[Optional[Sequence[Any]]] = None
 
     def __init__(self) -> None:
-        self._system = None
-        self._app = None
+        self._system: Optional[Any] = None
+        self._app: Optional["Application"] = None
         self._instance_id = ""
         self._in_ports: Tuple[HostInputPort, ...] = ()
         self._out_ports: Tuple[HostOutputPort, ...] = ()
@@ -63,7 +67,7 @@ class HostTask:
             check_value(value, spec)
 
     # ------------------------------------------------------------ subclass API
-    def run(self) -> Generator:
+    def run(self) -> Generator[Any, Any, None]:
         """The task body; override as a generator (fiber)."""
         raise NotImplementedError
         yield  # pragma: no cover
@@ -85,13 +89,13 @@ class HostTask:
     def name(self) -> str:
         return self._instance_id
 
-    def compute(self, duration_us: float, memory_bound: bool = True) -> Generator:
+    def compute(self, duration_us: float, memory_bound: bool = True) -> Generator[Any, Any, None]:
         """Fiber: spend host-CPU time (subject to memory contention)."""
         if self._system is None:
             raise BiscuitError("%s is not attached to an application" % type(self).__name__)
         yield from self._system.cpu.occupy(duration_us, memory_bound=memory_bound)
 
-    def open(self, path: str):
+    def open(self, path: str) -> Any:
         """Open a file over the conventional host path."""
         if self._system is None:
             raise BiscuitError("%s is not attached to an application" % type(self).__name__)
@@ -107,7 +111,7 @@ class HostTaskProxy:
 
     _ids = itertools.count(1)
 
-    def __init__(self, app, task_class, args: Tuple = ()):
+    def __init__(self, app: "Application", task_class: type, args: Tuple[Any, ...] = ()):
         if not issubclass(task_class, HostTask):
             raise TypeMismatchError("%s is not a HostTask" % task_class.__name__)
         self.app = app
@@ -117,14 +121,15 @@ class HostTaskProxy:
         self.args = tuple(args)
         self.instance: Optional[HostTask] = None
         self.is_host = True
+        self.site = caller_site()  # where the user declared this task
         app._register_host_task(self)
 
-    def out(self, index: int):
+    def out(self, index: int) -> "Endpoint":
         from repro.core.application import Endpoint
 
         return Endpoint(self, "out", index)
 
-    def in_(self, index: int):
+    def in_(self, index: int) -> "Endpoint":
         from repro.core.application import Endpoint
 
         return Endpoint(self, "in", index)

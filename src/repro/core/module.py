@@ -10,9 +10,11 @@ relocates).
 
 from __future__ import annotations
 
+import inspect
+import warnings
 from typing import Dict, Optional, Type
 
-from repro.core.errors import ModuleError
+from repro.core.errors import GraphWarning, ModuleError
 from repro.fs.filesystem import FileSystem, Inode
 from repro.sim.units import KIB
 
@@ -55,7 +57,12 @@ class SSDletModule:
         return self.BASE_BINARY_BYTES + self.PER_CLASS_BYTES * len(self.classes)
 
     def register(self, class_id: str, cls: Type) -> Type:
-        """Register an SSDlet class under ``class_id`` (RegisterSSDLet)."""
+        """Register an SSDlet class under ``class_id`` (RegisterSSDLet).
+
+        Registration is the reproduction's "compile" step, so declaration
+        errors the paper's C++ templates would reject at compile time are
+        rejected here — before any image is written or loaded.
+        """
         if class_id in self.classes:
             raise ModuleError(
                 "module %s already registers %r" % (self.name, class_id)
@@ -63,6 +70,7 @@ class SSDletModule:
         run = getattr(cls, "run", None)
         if run is None:
             raise ModuleError("%s does not define run()" % cls.__name__)
+        _validate_declaration(cls)
         self.classes[class_id] = cls
         return cls
 
@@ -73,6 +81,40 @@ class SSDletModule:
             raise ModuleError(
                 "module %s has no SSDlet registered as %r" % (self.name, class_id)
             ) from None
+
+
+def _validate_declaration(cls: Type) -> None:
+    """Static checks of a class's port/argument declarations.
+
+    Catches the classic Python slip the template types forbid by
+    construction: ``OUT_TYPES = str`` instead of ``OUT_TYPES = (str,)``
+    (iterating the bare string would declare three ports ``s``/``t``/``r``).
+    """
+    for attr in ("IN_TYPES", "OUT_TYPES"):
+        specs = getattr(cls, attr, ())
+        if isinstance(specs, (str, bytes)) or not isinstance(specs, (tuple, list)):
+            raise ModuleError(
+                "%s.%s must be a tuple of type specs, got %r "
+                "(did you write `= str` instead of `= (str,)`?)"
+                % (cls.__name__, attr, specs)
+            )
+    arg_types = getattr(cls, "ARG_TYPES", None)
+    if arg_types is not None and (
+            isinstance(arg_types, (str, bytes))
+            or not isinstance(arg_types, (tuple, list))):
+        raise ModuleError(
+            "%s.ARG_TYPES must be None or a tuple of type specs, got %r"
+            % (cls.__name__, arg_types)
+        )
+    run = getattr(cls, "run", None)
+    if run is not None and not inspect.isgeneratorfunction(run):
+        # Delegating run() bodies exist (return a helper's generator), so
+        # this is advisory: a truly non-generator run() fails in Process.
+        warnings.warn(
+            "%s.run() is not a generator function; SSDlet bodies execute "
+            "as fibers and must yield" % cls.__name__,
+            GraphWarning, stacklevel=3,
+        )
 
 
 def register_ssdlet(module: SSDletModule, class_id: str):

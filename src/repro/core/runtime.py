@@ -92,6 +92,10 @@ class BiscuitRuntime:
         # Inter-application links recorded before the peer application has
         # created its instances; wired by whichever start() completes last.
         self.pending_links: List[Tuple[Any, Any]] = []
+        # Every link ever declared via Application.connect() on this runtime,
+        # as (out_ep, in_ep, site) — read by repro.analysis.verify_graph so
+        # inter-application wiring is visible from both sides.
+        self.declared_links: List[Tuple[Any, Any, Any]] = []
 
     # ---------------------------------------------------------------- modules
     def load_module(self, inode: Inode) -> Generator:

@@ -20,11 +20,15 @@ The runtime injects ports, arguments and resource hooks at instantiation;
 
 from __future__ import annotations
 
-from typing import Any, ClassVar, Generator, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, ClassVar, Generator, Optional, Sequence, Tuple
 
 from repro.core.errors import BiscuitError, SafetyViolation, TypeMismatchError
 from repro.core.ports import DeviceInputPort, DeviceOutputPort
 from repro.core.types import check_value
+
+if TYPE_CHECKING:
+    from repro.core.runtime import BiscuitRuntime, DeviceApplication
+    from repro.fs.file import FileHandle
 
 __all__ = ["SSDLet"]
 
@@ -42,8 +46,8 @@ class SSDLet:
     def __init__(self) -> None:
         # Filled in by the runtime (BiscuitRuntime._instantiate); user
         # subclasses must not override __init__ with required parameters.
-        self._runtime = None
-        self._app = None
+        self._runtime: Optional["BiscuitRuntime"] = None
+        self._app: Optional["DeviceApplication"] = None
         self._instance_id = ""
         self._in_ports: Tuple[DeviceInputPort, ...] = ()
         self._out_ports: Tuple[DeviceOutputPort, ...] = ()
@@ -63,7 +67,7 @@ class SSDLet:
             check_value(value, spec)
 
     # ------------------------------------------------------------ subclass API
-    def run(self) -> Generator:
+    def run(self) -> Generator[Any, Any, None]:
         """The SSDlet body; override as a generator (fiber)."""
         raise NotImplementedError
         yield  # pragma: no cover - marks run() as a generator template
@@ -97,29 +101,38 @@ class SSDLet:
         return self._instance_id
 
     # ------------------------------------------------------------- resources
-    def _require_runtime(self):
+    def _require_runtime(self) -> "BiscuitRuntime":
         if self._runtime is None:
             raise BiscuitError(
                 "%s is not instantiated by the runtime" % type(self).__name__
             )
         return self._runtime
 
-    def compute(self, duration_us: float) -> Generator:
-        """Fiber: spend device-CPU time on this application's core."""
-        yield from self._require_runtime().compute(self._app, duration_us)
+    def _require_app(self) -> "DeviceApplication":
+        if self._app is None:
+            raise BiscuitError(
+                "%s is not instantiated by the runtime" % type(self).__name__
+            )
+        return self._app
 
-    def yield_(self) -> Generator:
+    def compute(self, duration_us: float) -> Generator[Any, Any, None]:
+        """Fiber: spend device-CPU time on this application's core."""
+        yield from self._require_runtime().compute(self._require_app(), duration_us)
+
+    def yield_(self) -> Generator[Any, Any, None]:
         """Explicit cooperative yield (lets other fibers of the core run)."""
         yield self._require_runtime().sim.timeout(0)
 
-    def open(self, device_file) -> Generator:
+    def open(self, device_file: Any) -> Generator[Any, Any, "FileHandle"]:
         """Fiber: open a host-granted file for internal I/O.
 
         Permission is inherited from the host program (Section III-D): the
         runtime refuses paths the host never granted, raising
         :class:`SafetyViolation`.
         """
-        handle = yield from self._require_runtime().open_file(self._app, device_file)
+        handle: "FileHandle" = yield from self._require_runtime().open_file(
+            self._require_app(), device_file
+        )
         return handle
 
     def malloc(self, size: int) -> int:
@@ -128,10 +141,14 @@ class SSDLet:
         Charged against the owning session's quota when the application
         runs inside a :class:`~repro.core.session.UserSession`.
         """
-        return self._require_runtime().user_alloc(self._app, size, owner=self._instance_id)
+        return self._require_runtime().user_alloc(
+            self._require_app(), size, owner=self._instance_id
+        )
 
     def mfree(self, address: int) -> None:
-        self._require_runtime().user_free(self._app, address, owner=self._instance_id)
+        self._require_runtime().user_free(
+            self._require_app(), address, owner=self._instance_id
+        )
 
     def system_memory_access(self, address: int) -> None:
         """Any touch of system-allocator memory is a safety violation."""

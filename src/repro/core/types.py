@@ -132,7 +132,10 @@ def deserialize(packet: Packet, spec: Any) -> Any:
 
 # --------------------------------------------------------------- type checks
 def spec_name(spec: Any) -> str:
-    return getattr(spec, "__name__", None) or str(spec)
+    name = getattr(spec, "__name__", None)
+    if isinstance(name, str) and name:
+        return name
+    return str(spec)
 
 
 def specs_match(a: Any, b: Any) -> bool:

@@ -455,7 +455,11 @@ def matcher_candidates(predicate: Optional[Expr], max_keys: int = 3) -> List[Mat
                 lows[conjunct.left.name] = conjunct
             elif conjunct.op in ("<", "<="):
                 highs[conjunct.left.name] = conjunct
-    for column in set(lows) & set(highs):
+    # Sorted: set intersection iterates in hash order (PYTHONHASHSEED-
+    # dependent for str keys), and the stable sort below preserves insertion
+    # order among equal priorities — so an unsorted walk here would make the
+    # planner's choice among equally-ranked range filters vary across runs.
+    for column in sorted(set(lows) & set(highs)):
         synthetic = and_(lows[column], highs[column])
         out.append((3, MatcherFilter(synthetic, 1, "range(%s)" % column)))
     out.sort(key=lambda pair: pair[0])

@@ -147,14 +147,14 @@ class Timeout(Event):
 
     __slots__ = ()
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
-        if delay < 0:
-            raise ValueError("negative timeout delay: %r" % (delay,))
+    def __init__(self, sim: "Simulator", delay_ns: int, value: Any = None):
+        if delay_ns < 0:
+            raise ValueError("negative timeout delay: %r" % (delay_ns,))
         super().__init__(sim)
         self._value = value
         self._scheduled = True
         self.defused = True  # a timeout cannot fail; nothing to defuse
-        sim._schedule(self, delay)
+        sim._schedule(self, delay_ns)
 
 
 class Process(Event):
@@ -355,17 +355,20 @@ class Simulator:
         """Current simulation time in microseconds."""
         return self._now / 1_000
 
-    def _schedule(self, event: Event, delay: int) -> None:
+    def _schedule(self, event: Event, delay_ns: int) -> None:
+        # Tie-breaking is the monotonic sequence number: events scheduled for
+        # the same instant run in schedule order, never in heap/hash order —
+        # this is what makes the event trace bit-reproducible.
         self._sequence += 1
-        heapq.heappush(self._heap, (self._now + delay, self._sequence, event))
+        heapq.heappush(self._heap, (self._now + delay_ns, self._sequence, event))
 
     def event(self) -> Event:
         """Create a pending event to be succeeded/failed manually."""
         return Event(self)
 
-    def timeout(self, delay: int, value: Any = None) -> Timeout:
-        """Event that triggers ``delay`` nanoseconds from now."""
-        return Timeout(self, delay, value)
+    def timeout(self, delay_ns: int, value: Any = None) -> Timeout:
+        """Event that triggers ``delay_ns`` nanoseconds from now."""
+        return Timeout(self, delay_ns, value)
 
     def process(self, generator: Generator, name: str = "") -> Process:
         """Start a fiber running ``generator``; returns its completion event."""

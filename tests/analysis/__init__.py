@@ -1,0 +1,1 @@
+"""Static-analysis subsystem tests (graph verifier + lint suite + CLI)."""

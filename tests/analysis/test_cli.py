@@ -1,0 +1,117 @@
+"""CLI behavior: exit codes, JSON schema, rule catalogue, waiver audit."""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+import pytest
+
+from repro.analysis import JSON_SCHEMA_VERSION, rule_ids
+from repro.analysis.__main__ import main
+
+CLEAN_SOURCE = textwrap.dedent("""\
+    import random
+
+    def simulate(sim, seed, delay_ns=100):
+        rng = random.Random(seed)
+        yield sim.timeout(delay_ns + rng.randrange(10))
+""")
+
+DIRTY_SOURCE = textwrap.dedent("""\
+    import time
+
+    started = time.time()
+    for item in {1, 2}:
+        print(item)
+""")
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "clean.py").write_text(CLEAN_SOURCE)
+    return tmp_path
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY_SOURCE)
+    return tmp_path
+
+
+def test_clean_tree_exits_zero(clean_tree, capsys):
+    assert main(["--strict", str(clean_tree)]) == 0
+    assert "1 file clean" in capsys.readouterr().out
+
+
+def test_findings_are_advisory_without_strict(dirty_tree, capsys):
+    assert main([str(dirty_tree)]) == 0
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "RPR003" in out
+
+
+def test_findings_fail_under_strict(dirty_tree, capsys):
+    assert main(["--strict", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "2 findings" in out
+
+
+def test_unknown_rule_id_is_usage_error(dirty_tree, capsys):
+    assert main(["--select", "RPR999", str(dirty_tree)]) == 2
+    assert "unknown rule ID" in capsys.readouterr().err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_select_limits_rules(dirty_tree, capsys):
+    assert main(["--strict", "--select", "RPR003", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR003" in out and "RPR001" not in out
+
+
+def test_json_output_schema(dirty_tree, capsys):
+    assert main(["--json", str(dirty_tree)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert sorted(payload) == [
+        "checked_files", "counts", "findings", "rules", "schema_version",
+    ]
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    assert payload["checked_files"] == 1
+    assert payload["counts"] == {"RPR001": 1, "RPR003": 1}
+    for finding in payload["findings"]:
+        assert sorted(finding) == ["col", "line", "message", "path", "rule"]
+    assert sorted(payload["rules"]) == rule_ids()
+
+
+def test_list_rules_covers_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_list_waivers_reports_reasoned_lines(tmp_path, capsys):
+    (tmp_path / "waived.py").write_text(
+        "import time\n"
+        "t = time.time()  # repro: noqa RPR001 -- progress display\n"
+    )
+    assert main(["--list-waivers", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "waived.py:2: noqa RPR001" in out
+
+
+def test_module_entry_point_runs_clean_on_shipped_tree():
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))
+    env = dict(os.environ, PYTHONPATH=os.path.join(repo_root, "src"))
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "--strict",
+         os.path.join(repo_root, "src", "repro")],
+        capture_output=True, text=True, env=env, cwd=repo_root,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "clean" in proc.stdout

@@ -1,0 +1,255 @@
+"""Graph verifier (RPR101-RPR107): findings, provenance, the start() hook."""
+
+import warnings
+
+import pytest
+
+from repro.analysis import GraphVerificationError, verify_links
+from repro.core import (
+    SSD,
+    Application,
+    SSDLet,
+    SSDLetProxy,
+    SSDletModule,
+    write_module_image,
+)
+from repro.core.errors import GraphWarning
+
+from tests.core.helpers import IMAGE_PATH, deploy
+
+
+class Opaque:
+    """Deliberately unregistered payload type (not Packet-serializable)."""
+
+
+class OpaqueSource(SSDLet):
+    OUT_TYPES = (Opaque,)
+
+    def run(self):
+        yield from self.out(0).put(Opaque())
+
+
+class OpaqueSink(SSDLet):
+    IN_TYPES = (Opaque,)
+
+    def run(self):
+        yield from self.in_(0).get()
+
+
+GRAPH_TEST_MODULE = SSDletModule("analysis-graph-test")
+GRAPH_TEST_MODULE.register("idOpaqueSource", OpaqueSource)
+GRAPH_TEST_MODULE.register("idOpaqueSink", OpaqueSink)
+GRAPH_IMAGE_PATH = "/var/isc/slets/analysis_graph.slet"
+
+
+@pytest.fixture
+def ssd(system):
+    deploy(system)
+    if not system.fs.exists(GRAPH_IMAGE_PATH):
+        write_module_image(system.fs, GRAPH_IMAGE_PATH, GRAPH_TEST_MODULE)
+    return SSD(system)
+
+
+def load(system, ssd, path=IMAGE_PATH):
+    return system.run_fiber(ssd.loadModule(path))
+
+
+def rules_of(findings):
+    return sorted({finding.rule for finding in findings})
+
+
+# ----------------------------------------------------------------- clean graphs
+def test_clean_pipeline_no_findings(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd)
+    producer = SSDLetProxy(app, mid, "idProducer", (4,))
+    doubler = SSDLetProxy(app, mid, "idDoubler")
+    app.connect(producer.out(0), doubler.in_(0))
+    app.connectTo(doubler.out(0), int)
+    assert app.verify() == []
+
+
+# ------------------------------------------------------------- RPR101 (types)
+def test_type_mismatch_reported(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    source = SSDLetProxy(app, mid, "idStrSource")
+    doubler = SSDLetProxy(app, mid, "idDoubler")
+    findings = verify_links([(source.out(0), doubler.in_(0))])
+    assert rules_of(findings) == ["RPR101"]
+    assert "str" in findings[0].message and "int" in findings[0].message
+
+
+def test_reversed_endpoints_reported(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    producer = SSDLetProxy(app, mid, "idProducer", (1,))
+    doubler = SSDLetProxy(app, mid, "idDoubler")
+    findings = verify_links([(doubler.in_(0), producer.out(0))])
+    assert rules_of(findings) == ["RPR101"]
+    assert "reversed" in findings[0].message
+
+
+def test_missing_port_index_reported(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    producer = SSDLetProxy(app, mid, "idProducer", (1,))
+    doubler = SSDLetProxy(app, mid, "idDoubler")
+    findings = verify_links([(producer.out(3), doubler.in_(0))])
+    assert rules_of(findings) == ["RPR101"]
+    assert "no output port 3" in findings[0].message
+
+
+# -------------------------------------------------- RPR102/RPR103 (dangling)
+def test_dangling_ports_reported_with_declaration_site(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    SSDLetProxy(app, mid, "idDoubler")  # never wired
+    findings = app.verify()
+    assert rules_of(findings) == ["RPR102", "RPR103"]
+    for finding in findings:
+        assert finding.path.endswith("test_graph_verifier.py")
+        assert finding.line > 0
+    assert "no producer" in findings[0].message
+    assert "no consumer" in findings[1].message
+
+
+def test_findings_are_deterministic(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    SSDLetProxy(app, mid, "idDoubler")
+    SSDLetProxy(app, mid, "idConsumer")
+    first = app.verify()
+    second = app.verify()
+    assert first == second
+    assert [f.rule for f in first] == sorted(f.rule for f in first)
+
+
+# --------------------------------------------------------- RPR104 (SPSC dup)
+def test_duplicate_spsc_binding_reported(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    producer = SSDLetProxy(app, mid, "idProducer", (2,))
+    app.connectTo(producer.out(0), int)
+    app.connectTo(producer.out(0), int)  # host-device queues are SPSC
+    findings = app.verify()
+    assert rules_of(findings) == ["RPR104"]
+    assert "bound 2 times" in findings[0].message
+
+
+# -------------------------------------------------- RPR105/RPR106 (topology)
+def test_reachable_cycle_reported(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    producer = SSDLetProxy(app, mid, "idProducer", (1,))
+    stage_a = SSDLetProxy(app, mid, "idDoubler")
+    stage_b = SSDLetProxy(app, mid, "idDoubler")
+    app.connect(producer.out(0), stage_a.in_(0))
+    app.connect(stage_a.out(0), stage_b.in_(0))
+    app.connect(stage_b.out(0), stage_a.in_(0))  # back edge
+    findings = app.verify()
+    assert rules_of(findings) == ["RPR106"]
+    assert "cycle" in findings[0].message
+
+
+def test_sourceless_cycle_is_unreachable_and_cyclic(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="off")
+    stage_a = SSDLetProxy(app, mid, "idDoubler")
+    stage_b = SSDLetProxy(app, mid, "idDoubler")
+    app.connect(stage_a.out(0), stage_b.in_(0))
+    app.connect(stage_b.out(0), stage_a.in_(0))
+    findings = app.verify()
+    assert [f.rule for f in findings] == ["RPR105", "RPR105", "RPR106"]
+
+
+# ------------------------------------------------------ RPR107 (serializable)
+def test_non_serializable_inter_application_link(system, ssd):
+    mid = load(system, ssd, GRAPH_IMAGE_PATH)
+    app_a = Application(ssd, "opaque-a", verify="off")
+    app_b = Application(ssd, "opaque-b", verify="off")
+    source = SSDLetProxy(app_a, mid, "idOpaqueSource")
+    sink = SSDLetProxy(app_b, mid, "idOpaqueSink")
+    findings = verify_links([(source.out(0), sink.in_(0))])
+    assert rules_of(findings) == ["RPR107"]
+    assert "no registered serializer" in findings[0].message
+
+
+def test_same_application_link_needs_no_serializer(system, ssd):
+    mid = load(system, ssd, GRAPH_IMAGE_PATH)
+    app = Application(ssd, verify="off")
+    source = SSDLetProxy(app, mid, "idOpaqueSource")
+    sink = SSDLetProxy(app, mid, "idOpaqueSink")
+    # Inter-SSDlet queues pass references; no Packet boundary, no RPR107.
+    assert verify_links([(source.out(0), sink.in_(0))]) == []
+
+
+# --------------------------------------------------------------- start() hook
+def test_strict_mode_rejects_before_any_device_state(system, ssd):
+    mid = load(system, ssd)
+    app = Application(ssd, verify="strict")
+    SSDLetProxy(app, mid, "idProducer", (5,))  # output never consumed
+
+    def program():
+        yield from app.start()
+
+    with pytest.raises(GraphVerificationError) as excinfo:
+        system.run_fiber(program())
+    assert any(f.rule == "RPR103" for f in excinfo.value.findings)
+    # Refused before instantiation: no device instances were created.
+    assert app.device_app.instances == []
+    assert not app.started
+
+
+def test_warn_mode_emits_graph_warnings(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd)  # default mode is "warn"
+        SSDLetProxy(app, mid, "idProducer", (1,))
+        yield from app.start()
+
+    with pytest.warns(GraphWarning, match="RPR103"):
+        system.run_fiber(program())
+
+
+def test_verify_off_is_silent(system, ssd):
+    mid = load(system, ssd)
+
+    def program():
+        app = Application(ssd, verify="off")
+        SSDLetProxy(app, mid, "idProducer", (1,))
+        yield from app.start()
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        system.run_fiber(program())
+    assert not [w for w in caught if issubclass(w.category, GraphWarning)]
+
+
+def test_env_variable_sets_default_mode(system, ssd, monkeypatch):
+    monkeypatch.setenv("REPRO_VERIFY_GRAPH", "strict")
+    mid = load(system, ssd)
+    app = Application(ssd)
+    SSDLetProxy(app, mid, "idProducer", (1,))
+
+    def program():
+        yield from app.start()
+
+    with pytest.raises(GraphVerificationError):
+        system.run_fiber(program())
+
+
+def test_invalid_verify_mode_rejected(system, ssd):
+    with pytest.raises(ValueError):
+        Application(ssd, verify="loud")
+
+
+# ------------------------------------------------------------- real pipeline
+def test_string_search_pipeline_is_clean_under_strict(system, monkeypatch):
+    from repro.apps.string_search import install_weblog, run_biscuit_search
+
+    monkeypatch.setenv("REPRO_VERIFY_GRAPH", "strict")
+    _, hits = install_weblog(system, "/data/web.log", 24_000, "needle")
+    count, _ = run_biscuit_search(system, "/data/web.log", "needle", num_searchers=2)
+    assert count == hits

@@ -128,7 +128,7 @@ def test_start_twice_rejected(system, ssd):
     mid = load(system, ssd)
 
     def program():
-        app = Application(ssd)
+        app = Application(ssd, verify="off")  # deliberately dangling output
         SSDLetProxy(app, mid, "idProducer", (0,))
         yield from app.start()
         try:
@@ -150,7 +150,7 @@ def test_add_proxy_after_start_rejected(system, ssd):
     mid = load(system, ssd)
 
     def program():
-        app = Application(ssd)
+        app = Application(ssd, verify="off")  # deliberately dangling output
         SSDLetProxy(app, mid, "idProducer", (0,))
         yield from app.start()
         try:
@@ -165,7 +165,7 @@ def test_arg_type_validation(system, ssd):
     mid = load(system, ssd)
 
     def program():
-        app = Application(ssd)
+        app = Application(ssd, verify="off")  # deliberately dangling output
         SSDLetProxy(app, mid, "idProducer", ("not an int",))
         try:
             yield from app.start()

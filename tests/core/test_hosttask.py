@@ -194,7 +194,7 @@ def test_host_task_arg_validation(system, ssd):
     load(system, ssd)
 
     def program():
-        app = Application(ssd)
+        app = Application(ssd, verify="off")  # deliberately dangling output
         HostTaskProxy(app, HostEmitter, ("three",))
         try:
             yield from app.start()

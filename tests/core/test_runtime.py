@@ -124,7 +124,7 @@ def test_wrong_arg_count(system, ssd):
     mid = load(system, ssd)
 
     def program():
-        app = Application(ssd)
+        app = Application(ssd, verify="off")  # deliberately dangling output
         SSDLetProxy(app, mid, "idProducer", (1, 2, 3))
         try:
             yield from app.start()

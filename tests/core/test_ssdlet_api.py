@@ -36,7 +36,7 @@ def test_instance_introspection(system, ssd):
     mid = system.run_fiber(ssd.loadModule(IMAGE_PATH))
 
     def program():
-        app = Application(ssd, "intro")
+        app = Application(ssd, "intro", verify="off")  # input deliberately unwired
         proxy = SSDLetProxy(app, mid, "idDoubler")
         yield from app.start()
         instance = proxy.instance
