@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench lint typecheck
+.PHONY: test test-fast test-faults bench lint typecheck trace
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -26,6 +26,14 @@ test-faults:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
 	$(PYTEST) -q benchmarks/test_ablation_read_cache.py
+
+# Trace a workload end to end (Perfetto JSON + metrics + breakdown).
+# Override with `make trace WORKLOAD=read_latency`.
+WORKLOAD ?= string_search
+trace:
+	PYTHONPATH=src $(PYTHON) -m repro.instrument --workload $(WORKLOAD) \
+		--trace trace-$(WORKLOAD).json --metrics metrics-$(WORKLOAD).json \
+		--breakdown
 
 # Determinism/unit-discipline lint suite (exit 1 on any finding).
 lint:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import json
 import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
@@ -59,8 +60,8 @@ def results_dir() -> str:
 
 
 def save_result(result: ExperimentResult, name: str) -> str:
-    """Write a result's report (.txt) and raw rows (.csv) to
-    benchmarks/results/."""
+    """Write a result's report (.txt), raw rows (.csv) and a machine-readable
+    metrics sidecar (.metrics.json) to benchmarks/results/."""
     path = os.path.join(results_dir(), "%s.txt" % name)
     with open(path, "w") as handle:
         handle.write(result.format() + "\n")
@@ -68,4 +69,11 @@ def save_result(result: ExperimentResult, name: str) -> str:
         handle.write(",".join(str(h) for h in result.headers) + "\n")
         for row in result.rows:
             handle.write(",".join(str(value) for value in row) + "\n")
+    sidecar = {
+        "experiment": result.experiment,
+        "title": result.title,
+        "metrics": dict(result.metrics),
+    }
+    with open(os.path.join(results_dir(), "%s.metrics.json" % name), "w") as handle:
+        handle.write(json.dumps(sidecar, sort_keys=True, indent=2) + "\n")
     return path

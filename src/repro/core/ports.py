@@ -153,6 +153,9 @@ class _PortBase:
         self.sim = sim
         self.owner_name = owner_name
         self.index = index
+        # Trace track: host-side owners are named "host:<app>..."; fold the
+        # colon into the path so their events group under a "host" process.
+        self.trace_track = owner_name.replace(":", "/", 1)
         self.connection: Optional[Connection] = None
         self._connect_waiters: list = []
 
@@ -205,6 +208,8 @@ class DeviceOutputPort(_PortBase):
 
     def put(self, value: Any) -> Generator:
         """Fiber: send one value downstream (blocks on a full queue)."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         connection = yield from self._ensure_connection()
         if self._closed:
             raise PortClosed("put on closed output port of %s" % self.owner_name)
@@ -219,6 +224,9 @@ class DeviceOutputPort(_PortBase):
         # INTER_APP: bare serialization, fiber handoff only.
         yield connection.queue.put(item)
         connection.items_transferred += 1
+        if trace is not None:
+            trace.complete("port", "put", self.trace_track, start_ns,
+                           port=self.index, kind=connection.kind.value)
 
     def close(self) -> None:
         """Signal end-of-stream to the consumer side."""
@@ -248,6 +256,8 @@ class DeviceInputPort(_PortBase):
 
     def get(self) -> Generator:
         """Fiber: receive one value; raises :class:`PortClosed` at stream end."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         connection = yield from self._ensure_connection()
         try:
             item = yield connection.queue.get()
@@ -261,6 +271,9 @@ class DeviceInputPort(_PortBase):
             # receive work on the slow device CPU.
             yield from self._device_compute(self._config.h2d_device_receiver_us)
         yield connection.sim.timeout(us_to_ns(self._config.fiber_schedule_us))
+        if trace is not None:
+            trace.complete("port", "get", self.trace_track, start_ns,
+                           port=self.index, kind=connection.kind.value)
         return connection.decode(item)
 
     def get_opt(self) -> Generator:
@@ -302,6 +315,8 @@ class HostOutputPort(_PortBase):
         self._closed = False
 
     def put(self, value: Any) -> Generator:
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         connection = yield from self._ensure_connection()
         if self._closed:
             raise PortClosed("put on closed host output port")
@@ -314,6 +329,9 @@ class HostOutputPort(_PortBase):
             yield from self._interface(len(item))
         yield connection.queue.put(item)
         connection.items_transferred += 1
+        if trace is not None:
+            trace.complete("port", "put", self.trace_track, start_ns,
+                           port=self.index, kind=connection.kind.value)
 
     def close(self) -> None:
         if self._closed:
@@ -341,6 +359,8 @@ class HostInputPort(_PortBase):
         self._config = config
 
     def get(self) -> Generator:
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         connection = yield from self._ensure_connection()
         try:
             item = yield connection.queue.get()
@@ -351,6 +371,9 @@ class HostInputPort(_PortBase):
         else:
             yield from self._host_compute(self._config.d2h_host_receiver_us)
             yield connection.sim.timeout(us_to_ns(self._config.fiber_schedule_us))
+        if trace is not None:
+            trace.complete("port", "get", self.trace_track, start_ns,
+                           port=self.index, kind=connection.kind.value)
         return connection.decode(item)
 
     def get_opt(self) -> Generator:

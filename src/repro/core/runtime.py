@@ -196,6 +196,10 @@ class BiscuitRuntime:
         if app.started:
             raise ModuleError("application %s already started" % app.name)
         app.started = True
+        if self.sim.trace is not None:
+            self.sim.trace.instant(
+                "core", "app-start", "%s/runtime" % app.name,
+                app=app.name, core=app.core, instances=len(app.instances))
         for instance in app.instances:
             fiber = self.sim.process(
                 self._instance_body(instance), name=instance._instance_id
@@ -205,6 +209,8 @@ class BiscuitRuntime:
         yield self.sim.timeout(us_to_ns(self.config.fiber_schedule_us))
 
     def _instance_body(self, instance: SSDLet) -> Generator:
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         try:
             yield from instance.run()
         finally:
@@ -216,6 +222,11 @@ class BiscuitRuntime:
                     self.allocators.user.owner_usage(instance._instance_id)
                 )
             self.allocators.release_owner(instance._instance_id)
+            if trace is not None:
+                # The fiber's whole life as one span on its own track
+                # ("app/class#n" → process app, thread class#n in Perfetto).
+                trace.complete("core", "fiber", instance._instance_id,
+                               start_ns, core=instance._app.core)
 
     def wait_application(self, app: DeviceApplication) -> Generator:
         """Fiber: block until every instance fiber finished; re-raise errors."""

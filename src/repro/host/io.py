@@ -25,26 +25,55 @@ class HostIO:
         self.sim = sim
         self.cpu = cpu
         self.device = device
+        # Trace track for driver/nvme events; System numbers it ("host/io0").
+        self.trace_track = "host/io"
         self.reads = 0
         self.writes = 0
         self.pages_read = 0
         self.pages_written = 0
 
+    def _driver_work(self, duration_us: float, label: str) -> Generator:
+        """Fiber: host driver CPU time, emitted as a ``driver`` span."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
+        yield from self.cpu.occupy(duration_us)
+        if trace is not None:
+            trace.complete("driver", label, self.trace_track, start_ns)
+
     # ------------------------------------------------------------------- read
     def pread_pages(self, lpns: Sequence[int]) -> Generator:
-        """Fiber: synchronous host read of logical pages."""
+        """Fiber: synchronous host read of logical pages.
+
+        With tracing on, the NVMe command lifecycle is emitted as instants
+        (submit → fetch → execute → complete) plus one ``nvme/read`` span
+        enveloping the whole round trip — the unit the latency-breakdown
+        report decomposes into driver / firmware / NAND / transfer time.
+        """
         config = self.device.config
         submit_us = config.nvme_command_overhead_us / 2
         complete_us = config.nvme_command_overhead_us - submit_us
-        yield from self.cpu.occupy(submit_us)
+        trace = self.sim.trace
+        cmd_id = trace.next_id() if trace is not None else 0
+        start_ns = self.sim.now if trace is not None else 0
+        if trace is not None:
+            trace.instant("nvme", "submit", self.trace_track,
+                          cmd=cmd_id, pages=len(lpns))
+        yield from self._driver_work(submit_us, "submit")
         yield from self.device.interface.acquire_slot()
         try:
+            if trace is not None:
+                trace.instant("nvme", "fetch", self.trace_track, cmd=cmd_id)
+                trace.instant("nvme", "execute", self.trace_track, cmd=cmd_id)
             yield from self.device.host_read(list(lpns))
         finally:
             self.device.interface.release_slot()
-        yield from self.cpu.occupy(complete_us)
+        yield from self._driver_work(complete_us, "complete")
         self.reads += 1
         self.pages_read += len(lpns)
+        if trace is not None:
+            trace.instant("nvme", "complete", self.trace_track, cmd=cmd_id)
+            trace.complete("nvme", "read", self.trace_track, start_ns,
+                           cmd=cmd_id, pages=len(lpns))
 
     def apread_pages(self, lpns: Sequence[int]) -> Event:
         """Asynchronous host read; returns the completion event."""
@@ -56,12 +85,25 @@ class HostIO:
         config = self.device.config
         submit_us = config.nvme_command_overhead_us / 2
         complete_us = config.nvme_command_overhead_us - submit_us
-        yield from self.cpu.occupy(submit_us)
+        trace = self.sim.trace
+        cmd_id = trace.next_id() if trace is not None else 0
+        start_ns = self.sim.now if trace is not None else 0
+        if trace is not None:
+            trace.instant("nvme", "submit", self.trace_track,
+                          cmd=cmd_id, pages=len(lpns))
+        yield from self._driver_work(submit_us, "submit")
         yield from self.device.interface.acquire_slot()
         try:
+            if trace is not None:
+                trace.instant("nvme", "fetch", self.trace_track, cmd=cmd_id)
+                trace.instant("nvme", "execute", self.trace_track, cmd=cmd_id)
             yield from self.device.host_write(list(lpns))
         finally:
             self.device.interface.release_slot()
-        yield from self.cpu.occupy(complete_us)
+        yield from self._driver_work(complete_us, "complete")
         self.writes += 1
         self.pages_written += len(lpns)
+        if trace is not None:
+            trace.instant("nvme", "complete", self.trace_track, cmd=cmd_id)
+            trace.complete("nvme", "write", self.trace_track, start_ns,
+                           cmd=cmd_id, pages=len(lpns))

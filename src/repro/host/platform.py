@@ -15,6 +15,7 @@ from repro.fs.file import FileHandle
 from repro.fs.filesystem import FileSystem
 from repro.host.cpu import HostCPU
 from repro.host.io import HostIO
+from repro.instrument.metrics import MetricsRegistry
 from repro.sim.engine import Event, Simulator
 from repro.ssd.config import SSDConfig
 from repro.ssd.device import SSDDevice
@@ -50,9 +51,14 @@ class System:
         if fabric_bytes_per_sec is not None:
             from repro.ssd.nvme import Fabric
             self.fabric = Fabric(self.sim, fabric_bytes_per_sec)
+        # One registry for every running statistic in the system: controller
+        # ReadStats, cache CacheStats and UtilizationMonitor series all
+        # register here, so one snapshot captures the whole platform.
+        self.metrics = MetricsRegistry()
         self.devices = [
-            SSDDevice(self.sim, ssd_config, fabric=self.fabric)
-            for _ in range(num_ssds)
+            SSDDevice(self.sim, ssd_config, fabric=self.fabric,
+                      metrics=self.metrics, metrics_prefix="ssd%d" % index)
+            for index in range(num_ssds)
         ]
         self.device = self.devices[0]
         self.config = self.device.config
@@ -60,6 +66,8 @@ class System:
         self.fs = self.filesystems[0]
         self.cpu = HostCPU(self.sim, cores=host_cores)
         self.ios = [HostIO(self.sim, self.cpu, device) for device in self.devices]
+        for index, io in enumerate(self.ios):
+            io.trace_track = "host/io%d" % index
         self.io = self.ios[0]
         self.cpu.set_background_load(background_threads)
 

@@ -1,0 +1,146 @@
+"""Trace a named bench workload: ``python -m repro.instrument``.
+
+Runs one workload on a freshly wired :class:`~repro.host.platform.System`
+with the event bus attached, then emits any of:
+
+* ``--trace out.json`` — Chrome/Perfetto trace-event JSON over simulated
+  time (one process per device / application / host, one track per channel,
+  core, SSDlet);
+* ``--metrics metrics.json`` — the system metrics registry snapshot
+  (controller and cache counters, utilization series);
+* ``--breakdown`` — the Table III-style read-latency decomposition printed
+  to stdout.
+
+Every byte written is deterministic: two runs of the same workload produce
+identical files regardless of ``PYTHONHASHSEED`` (the CI smoke job and
+``tests/instrument/test_cli.py`` hold it to that).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, Generator, Tuple
+
+from repro.host.platform import System
+from repro.instrument.breakdown import read_latency_breakdown
+from repro.instrument.events import EventBus
+from repro.instrument.perfetto import write_chrome_trace
+from repro.instrument.utilization import UtilizationMonitor
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB
+
+__all__ = ["main", "WORKLOADS"]
+
+
+def _run_string_search(system: System) -> Dict[str, float]:
+    """Table V shape: Conv grep vs a matcher-driven Searcher pipeline."""
+    from repro.apps.string_search import (
+        install_weblog_analytic, run_biscuit_search, run_conv_search,
+    )
+    path = "/data/weblog.log"
+    keyword = "Googlebot"
+    install_weblog_analytic(system, path, 8 * MIB, keyword)
+    _conv_count, conv_s = run_conv_search(system, path, keyword)
+    _biscuit_count, biscuit_s = run_biscuit_search(system, path, keyword)
+    return {"conv_s": conv_s, "biscuit_s": biscuit_s}
+
+
+def _run_read_latency(system: System, samples: int = 32) -> Dict[str, float]:
+    """Table III shape: serial 4 KiB reads, Conv (pread) vs internal."""
+    system.fs.install_synthetic("/bench/latency.dat", 64 * MIB)
+
+    def measure(handle) -> float:
+        def program() -> Generator:
+            total_ns = 0
+            for index in range(samples):
+                start_ns = system.sim.now
+                yield from handle.read_timing_only(index * 4096, 4096)
+                total_ns += system.sim.now - start_ns
+            return total_ns / samples / 1e3
+
+        return system.run_fiber(program())
+
+    conv_read_us = measure(system.open_host("/bench/latency.dat"))
+    biscuit_read_us = measure(system.open_internal("/bench/latency.dat"))
+    return {"conv_read_us": conv_read_us, "biscuit_read_us": biscuit_read_us}
+
+
+def _run_pointer_chase(system: System) -> Dict[str, float]:
+    """Table IV shape: random walks over a node file, Conv vs Chaser SSDlet."""
+    from repro.apps.pointer_chase import (
+        build_exact_graph, run_biscuit, run_conv,
+    )
+    graph = build_exact_graph(system, "/data/graph.bin", num_nodes=256)
+    _finals, conv_s = run_conv(system, graph, num_walks=8, hops=4)
+    _finals, biscuit_s = run_biscuit(system, graph, num_walks=8, hops=4)
+    return {"conv_s": conv_s, "biscuit_s": biscuit_s}
+
+
+WORKLOADS: Dict[str, Tuple[Callable[[System], Dict[str, float]], str]] = {
+    "string_search": (_run_string_search,
+                      "web-log keyword search, Conv grep vs matcher SSDlets"),
+    "read_latency": (_run_read_latency,
+                     "serial 4 KiB reads, host vs device-internal (Table III)"),
+    "pointer_chase": (_run_pointer_chase,
+                      "graph random walks, host vs Chaser SSDlet (Table IV)"),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.instrument",
+        description="Run a bench workload with stack-wide tracing enabled.",
+    )
+    parser.add_argument("--workload", choices=sorted(WORKLOADS),
+                        help="workload to run")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write Chrome/Perfetto trace-event JSON here")
+    parser.add_argument("--metrics", metavar="PATH",
+                        help="write the metrics-registry snapshot JSON here")
+    parser.add_argument("--breakdown", action="store_true",
+                        help="print the read-latency breakdown report")
+    parser.add_argument("--list", action="store_true",
+                        help="list available workloads and exit")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in sorted(WORKLOADS):
+            print("%-14s %s" % (name, WORKLOADS[name][1]))
+        return 0
+    if args.workload is None:
+        parser.error("--workload is required (or use --list)")
+
+    # The bus must attach before the System wires its devices so each SSD
+    # registers its trace scope ("ssd0", ...).
+    sim = Simulator()
+    bus = EventBus(sim)
+    system = System(sim=sim)
+    monitor = UtilizationMonitor.for_system(system, interval_s=0.001)
+    monitor.start()
+    runner, _description = WORKLOADS[args.workload]
+    summary = runner(system)
+    monitor.stop()
+
+    for key in sorted(summary):
+        print("%s %s=%.6g" % (args.workload, key, summary[key]))
+    print("%s events=%d simulated_s=%.6g"
+          % (args.workload, len(bus.events), system.now_s))
+
+    if args.trace:
+        write_chrome_trace(bus.events, args.trace)
+        print("trace written to %s" % args.trace)
+    if args.metrics:
+        extra = {"workload": args.workload,
+                 "simulated_s": system.now_s,
+                 "events": len(bus.events)}
+        with open(args.metrics, "w", encoding="utf-8") as handle:
+            handle.write(system.metrics.to_json(extra=extra))
+        print("metrics written to %s" % args.metrics)
+    if args.breakdown:
+        print(read_latency_breakdown(bus.events).format())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Per-command latency decomposition reconstructed from trace events.
+
+Table 3 of the paper decomposes a 4 KiB read round trip into driver,
+firmware, NAND and transfer time.  This module rebuilds that composition
+*from the event stream alone*: command envelopes come from the NVMe
+lifecycle (``nvme/read`` complete spans for host commands) and from
+controller command spans (``ctrl/read`` spans that sit inside no host
+envelope are device-internal Biscuit reads); component time is the clipped
+overlap of each subsystem's spans with the envelope.
+
+Components:
+
+* **driver** — host CPU submit/complete work (``driver`` spans from HostIO).
+* **firmware** — device-core command handling (``fw`` spans named
+  ``read-overhead`` / ``dispatch`` / ``write-overhead``).
+* **nand** — channel media time: sense + channel-bus transfer (``nand``
+  read spans).
+* **transfer** — host-interface crossing (``xfer`` spans: PCIe link and
+  fabric hops).
+* **other** — the residual of the envelope (queueing gaps, cache-hit DRAM
+  time, scheduling).
+
+Component times are *busy sums*: a wide command striped over 16 channels
+counts every channel's media time, so components can legitimately exceed
+the envelope wall time for parallel commands.  For the serial 4 KiB reads
+of Table 3 the spans are disjoint and the sum is exact — which is what the
+golden-trace cross-check in ``tests/instrument`` holds it to (within 1%).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.instrument.events import TraceEvent
+
+__all__ = ["CommandBreakdown", "BreakdownAggregate", "LatencyBreakdownReport",
+           "read_latency_breakdown"]
+
+#: Component order used by every report row.
+COMPONENTS = ("driver", "firmware", "nand", "transfer", "other")
+
+_FW_READ_NAMES = frozenset({"read-overhead", "dispatch", "write-overhead"})
+
+
+class CommandBreakdown:
+    """One command envelope split into component busy times (ns)."""
+
+    __slots__ = ("kind", "start_ns", "dur_ns", "components")
+
+    def __init__(self, kind: str, start_ns: int, dur_ns: int):
+        self.kind = kind  # "host" | "internal"
+        self.start_ns = start_ns
+        self.dur_ns = dur_ns
+        self.components: Dict[str, int] = {name: 0 for name in COMPONENTS}
+
+    @property
+    def end_ns(self) -> int:
+        return self.start_ns + self.dur_ns
+
+    def finalize(self) -> None:
+        accounted = sum(self.components[name] for name in COMPONENTS
+                        if name != "other")
+        self.components["other"] = self.dur_ns - accounted
+
+
+class BreakdownAggregate:
+    """Mean composition over a set of command breakdowns."""
+
+    def __init__(self, kind: str, commands: Sequence[CommandBreakdown]):
+        self.kind = kind
+        self.commands = list(commands)
+
+    @property
+    def count(self) -> int:
+        return len(self.commands)
+
+    @property
+    def mean_total_us(self) -> float:
+        if not self.commands:
+            return 0.0
+        return sum(c.dur_ns for c in self.commands) / len(self.commands) / 1e3
+
+    def mean_component_us(self, component: str) -> float:
+        if not self.commands:
+            return 0.0
+        total = sum(c.components[component] for c in self.commands)
+        return total / len(self.commands) / 1e3
+
+    def composition(self) -> Dict[str, float]:
+        """Mean per-command microseconds for every component."""
+        return {name: self.mean_component_us(name) for name in COMPONENTS}
+
+
+class LatencyBreakdownReport:
+    """Host (Conv) and internal (Biscuit) read-latency compositions."""
+
+    def __init__(self, host: BreakdownAggregate, internal: BreakdownAggregate):
+        self.host = host
+        self.internal = internal
+
+    def format(self) -> str:
+        header = ("path", "cmds", "total") + COMPONENTS
+        rows = []
+        for aggregate in (self.host, self.internal):
+            if not aggregate.count:
+                continue
+            composition = aggregate.composition()
+            rows.append((
+                aggregate.kind, "%d" % aggregate.count,
+                "%.1f" % aggregate.mean_total_us,
+            ) + tuple("%.1f" % composition[name] for name in COMPONENTS))
+        if not rows:
+            return "(no read commands in trace)"
+        cells = [tuple(str(cell) for cell in header)] + rows
+        widths = [max(len(row[i]) for row in cells) for i in range(len(header))]
+        lines = ["  ".join(cell.rjust(width) for cell, width in
+                           zip(row, widths)) for row in cells]
+        lines.insert(1, "  ".join("-" * width for width in widths))
+        lines.append("(mean us per command; components are busy sums)")
+        return "\n".join(lines)
+
+
+def _clip_into(envelopes: List[CommandBreakdown], event: TraceEvent,
+               component: str) -> None:
+    event_end = event.end_ns
+    for envelope in envelopes:
+        overlap = min(envelope.end_ns, event_end) - max(envelope.start_ns,
+                                                        event.ts_ns)
+        if overlap > 0:
+            envelope.components[component] += overlap
+
+
+def _component_of(event: TraceEvent) -> Optional[str]:
+    if event.dur_ns is None:
+        return None
+    if event.cat == "driver":
+        return "driver"
+    if event.cat == "fw" and event.name in _FW_READ_NAMES:
+        return "firmware"
+    if event.cat == "nand" and event.name == "read":
+        return "nand"
+    if event.cat == "xfer" and event.name != "fabric":
+        # Fabric hops run cut-through, concurrent with the device link hop:
+        # counting both would double-charge the same bytes.
+        return "transfer"
+    return None
+
+
+def read_latency_breakdown(events: Iterable[TraceEvent]) -> LatencyBreakdownReport:
+    """Reconstruct the Table 3 read round-trip composition from events."""
+    stream = list(events)
+    host_envelopes = [
+        CommandBreakdown("host", event.ts_ns, event.dur_ns)
+        for event in stream
+        if event.cat == "nvme" and event.name == "read"
+        and event.dur_ns is not None
+    ]
+    internal_envelopes = []
+    for event in stream:
+        if event.cat != "ctrl" or event.name != "read" or event.dur_ns is None:
+            continue
+        inside_host = any(
+            envelope.start_ns <= event.ts_ns
+            and event.end_ns <= envelope.end_ns
+            for envelope in host_envelopes
+        )
+        if not inside_host:
+            internal_envelopes.append(
+                CommandBreakdown("internal", event.ts_ns, event.dur_ns))
+    for event in stream:
+        component = _component_of(event)
+        if component is None:
+            continue
+        _clip_into(host_envelopes, event, component)
+        _clip_into(internal_envelopes, event, component)
+    for envelope in host_envelopes:
+        envelope.finalize()
+    for envelope in internal_envelopes:
+        envelope.finalize()
+    return LatencyBreakdownReport(
+        BreakdownAggregate("host", host_envelopes),
+        BreakdownAggregate("internal", internal_envelopes),
+    )

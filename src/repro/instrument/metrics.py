@@ -1,0 +1,246 @@
+"""Metrics registry: counters, gauges, histograms and time series.
+
+One registry per :class:`~repro.host.platform.System` unifies every running
+statistic the stack keeps — controller :class:`~repro.ssd.controller.ReadStats`
+counters, :class:`~repro.ssd.cache.CacheStats` counters and the
+:class:`~repro.instrument.utilization.UtilizationMonitor` series are all
+registered metrics, so one ``snapshot()`` (or ``to_json()``) captures the
+whole device state machine-readably and deterministically.
+
+Metric kinds:
+
+* :class:`Counter` — monotonically increasing int (settable for migration
+  shims that still assign through legacy attributes).
+* :class:`Gauge` — last-write-wins scalar.
+* :class:`Histogram` — raw samples with exact quantiles (simulation-scale
+  sample counts are small; exactness beats bucketing for calibration work).
+* :class:`Series` — (simulated-seconds, value) points; snapshots summarize
+  (count/mean/peak/last) so sidecar files stay small.
+
+Determinism contract: names are explicit strings (never derived from hashes
+or object ids), ``snapshot()`` orders by sorted name, and ``to_json()`` uses
+sorted keys and fixed separators — the byte stream depends only on the
+simulated run, never on ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+__all__ = ["Counter", "Gauge", "Histogram", "Series", "MetricsRegistry",
+           "registry_counter"]
+
+
+def registry_counter(field: str) -> property:
+    """Attribute access delegating to a registry counter.
+
+    Migration shim for legacy stats classes: the class keeps a
+    ``self._counters[field]`` map of :class:`Counter` objects, and each
+    named attribute (``stats.hits`` etc.) becomes a property over it, so
+    ``stats.hits += 1`` call sites keep working while the values live in
+    the registry.
+    """
+
+    def getter(self):
+        return self._counters[field].value
+
+    def setter(self, value):
+        self._counters[field].value = value
+
+    return property(getter, setter,
+                    doc="Registry-backed counter %r." % field)
+
+
+class Counter:
+    """A monotonically increasing count (settable only for legacy shims)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A last-write-wins scalar."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: Union[int, float] = 0
+
+    def set(self, value: Union[int, float]) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"type": "gauge", "value": self.value}
+
+
+class Histogram:
+    """Raw-sample histogram with exact quantiles."""
+
+    __slots__ = ("name", "samples")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / len(self.samples) if self.samples else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Exact quantile by linear interpolation over the sorted samples."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile %r outside [0, 1]" % (q,))
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        position = q * (len(ordered) - 1)
+        low = int(position)
+        high = min(low + 1, len(ordered) - 1)
+        fraction = position - low
+        return ordered[low] * (1 - fraction) + ordered[high] * fraction
+
+    def snapshot(self) -> Dict[str, Any]:
+        if not self.samples:
+            return {"type": "histogram", "count": 0}
+        return {
+            "type": "histogram",
+            "count": self.count,
+            "sum": self.total,
+            "min": min(self.samples),
+            "max": max(self.samples),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+        }
+
+
+class Series:
+    """(simulated-seconds, value) points appended on a sampling grid."""
+
+    __slots__ = ("name", "points")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.points: List[Tuple[float, float]] = []
+
+    def add(self, when_s: float, value: float) -> None:
+        self.points.append((when_s, value))
+
+    @property
+    def count(self) -> int:
+        return len(self.points)
+
+    def mean(self) -> float:
+        if not self.points:
+            return 0.0
+        return sum(value for _, value in self.points) / len(self.points)
+
+    def peak(self) -> float:
+        return max((value for _, value in self.points), default=0.0)
+
+    def snapshot(self) -> Dict[str, Any]:
+        summary: Dict[str, Any] = {"type": "series", "count": self.count}
+        if self.points:
+            summary.update({
+                "mean": self.mean(),
+                "peak": self.peak(),
+                "last": self.points[-1][1],
+            })
+        return summary
+
+
+_KINDS = {"counter": Counter, "gauge": Gauge, "histogram": Histogram,
+          "series": Series}
+
+Metric = Union[Counter, Gauge, Histogram, Series]
+
+
+class MetricsRegistry:
+    """Named metrics with get-or-create registration.
+
+    Registration is idempotent per (name, kind): asking again returns the
+    same object, so several observers may share a metric; asking for an
+    existing name with a different kind is an error (names are a flat global
+    namespace — dotted prefixes like ``ssd0.cache.hits`` scope them).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ---------------------------------------------------------- registration
+    def _get_or_create(self, kind: str, name: str) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, _KINDS[kind]):
+                raise ValueError(
+                    "metric %r already registered as %s, not %s"
+                    % (name, type(existing).__name__.lower(), kind))
+            return existing
+        metric = _KINDS[kind](name)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create("counter", name)  # type: ignore[return-value]
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create("gauge", name)  # type: ignore[return-value]
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create("histogram", name)  # type: ignore[return-value]
+
+    def series(self, name: str) -> Series:
+        return self._get_or_create("series", name)  # type: ignore[return-value]
+
+    # ----------------------------------------------------------------- query
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """One nested dict over every metric, ordered by sorted name."""
+        return {name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)}
+
+    def to_json(self, extra: Optional[Dict[str, Any]] = None) -> str:
+        """Deterministic JSON rendering of :meth:`snapshot`.
+
+        ``extra`` entries (workload name, schema version...) are merged at
+        the top level next to ``"metrics"``.
+        """
+        payload: Dict[str, Any] = {"metrics": self.snapshot()}
+        if extra:
+            payload.update(extra)
+        return json.dumps(payload, sort_keys=True, indent=2) + "\n"

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from repro.sim.engine import Simulator
@@ -16,6 +17,8 @@ class Span:
     name: str
     start_ns: int
     end_ns: Optional[int] = None
+    #: Unique per tracer; distinguishes concurrent same-named spans.
+    span_id: int = 0
 
     @property
     def duration_ns(self) -> int:
@@ -25,37 +28,56 @@ class Span:
 
 
 class SpanTracer:
-    """Collects begin/end spans keyed by track (one row per track)."""
+    """Collects begin/end spans keyed by track (one row per track).
+
+    The same (track, name) may be open several times at once — overlapping
+    commands on one queue are the normal case, not an error.  Each
+    :meth:`begin` returns a distinct :class:`Span` (with a unique
+    ``span_id``); :meth:`end` closes the most recently begun open span of
+    that (track, name) — LIFO, matching nested-call structure — or a
+    specific one when passed its ``span``.
+    """
 
     def __init__(self, sim: Simulator):
         self.sim = sim
         self.spans: List[Span] = []
-        self._open: Dict[tuple, Span] = {}
+        self._ids = itertools.count(1)
+        self._open: Dict[tuple, List[Span]] = {}
 
     # ---------------------------------------------------------------- record
     def begin(self, track: str, name: str) -> Span:
-        span = Span(track, name, self.sim.now)
-        key = (track, name)
-        if key in self._open:
-            raise ValueError("span %s/%s already open" % key)
-        self._open[key] = span
+        span = Span(track, name, self.sim.now, span_id=next(self._ids))
+        self._open.setdefault((track, name), []).append(span)
         self.spans.append(span)
         return span
 
-    def end(self, track: str, name: str) -> Span:
-        span = self._open.pop((track, name), None)
+    def end(self, track: str, name: str,
+            span: Optional[Span] = None) -> Span:
+        key = (track, name)
+        stack = self._open.get(key)
+        if not stack:
+            raise ValueError("no open span %s/%s" % key)
         if span is None:
-            raise ValueError("no open span %s/%s" % (track, name))
+            span = stack.pop()
+        else:
+            if span not in stack:
+                raise ValueError(
+                    "span %s/%s #%d is not open" % (track, name, span.span_id))
+            stack.remove(span)
+        if not stack:
+            del self._open[key]
         span.end_ns = self.sim.now
         return span
 
     def span(self, track: str, name: str, fiber) -> Generator:
         """Fiber wrapper: trace the fiber's full extent as one span."""
-        self.begin(track, name)
+        opened = self.begin(track, name)
         try:
             value = yield from fiber
         finally:
-            self.end(track, name)
+            # End this wrapper's own span: concurrent fibers wrapping the
+            # same (track, name) must not close each other's spans.
+            self.end(track, name, span=opened)
         return value
 
     # ----------------------------------------------------------------- query
@@ -73,7 +95,12 @@ class SpanTracer:
 
     # ---------------------------------------------------------------- render
     def gantt(self, width: int = 64) -> str:
-        """Text Gantt chart: one row per track, '#' where any span is live."""
+        """Text Gantt chart: one row per track.
+
+        '#' marks cells where a span with real extent is live; '|' marks
+        zero-duration spans (instants) so they read as markers rather than
+        as full-cell-wide work (a '#' span passing over the same cell wins).
+        """
         spans = self.closed_spans()
         if not spans:
             return "(no spans)"
@@ -90,6 +117,10 @@ class SpanTracer:
                     continue
                 begin = int((span.start_ns - t0) / extent * (width - 1))
                 end = int((span.end_ns - t0) / extent * (width - 1))
+                if span.duration_ns == 0:
+                    if cells[begin] == " ":
+                        cells[begin] = "|"
+                    continue
                 for cell in range(begin, end + 1):
                     cells[cell] = "#"
             lines.append("%s |%s|" % (track.rjust(label_width), "".join(cells)))

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.instrument.metrics import MetricsRegistry
 from repro.sim.engine import Interrupt, Process, Simulator
 from repro.sim.resources import Resource
 from repro.sim.units import s_to_ns
@@ -21,9 +22,16 @@ class UtilizationMonitor:
     buses, PCIe link) without naming them by hand.
     """
 
-    def __init__(self, sim: Simulator, interval_s: float = 0.01):
+    def __init__(self, sim: Simulator, interval_s: float = 0.01,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "util"):
         self.sim = sim
         self.interval_ns = s_to_ns(interval_s)
+        # Samples land in registry Series metrics (a private registry when
+        # none is given); ``self.series[name]`` aliases each Series' point
+        # list, so the legacy dict-of-points API is unchanged.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
         self._groups: Dict[str, List[Resource]] = {}
         self._caches: Dict[str, object] = {}  # DeviceReadCache by group name
         self._last: Dict[str, int] = {}
@@ -31,9 +39,14 @@ class UtilizationMonitor:
         self.series: Dict[str, List[Tuple[float, float]]] = {}
         self._fiber: Optional[Process] = None
 
+    def _register_series(self, name: str) -> None:
+        metric = self.registry.series("%s.%s" % (self.prefix, name))
+        self.series[name] = metric.points
+
     @classmethod
     def for_system(cls, system, interval_s: float = 0.01) -> "UtilizationMonitor":
-        monitor = cls(system.sim, interval_s)
+        monitor = cls(system.sim, interval_s,
+                      registry=getattr(system, "metrics", None))
         monitor.watch("host-cores", [system.cpu.cores])
         for index, device in enumerate(system.devices):
             suffix = "" if len(system.devices) == 1 else "-%d" % index
@@ -50,7 +63,7 @@ class UtilizationMonitor:
         if self._fiber is not None:
             raise RuntimeError("cannot add groups while running")
         self._groups[name] = list(resources)
-        self.series[name] = []
+        self._register_series(name)
 
     def watch_cache(self, name: str, cache) -> None:
         """Sample a device read cache's windowed hit rate alongside the
@@ -58,7 +71,7 @@ class UtilizationMonitor:
         if self._fiber is not None:
             raise RuntimeError("cannot add groups while running")
         self._caches[name] = cache
-        self.series[name] = []
+        self._register_series(name)
 
     def start(self) -> None:
         if self._fiber is not None:

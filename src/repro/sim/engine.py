@@ -339,6 +339,11 @@ class Simulator:
         self._now = 0
         self._heap: List[Any] = []
         self._sequence = 0
+        # Structured-event tracing hook (repro.instrument.events.EventBus).
+        # None means tracing is off; instrumented layers guard every emission
+        # with a single ``sim.trace is not None`` check, so the disabled path
+        # costs one attribute load and never touches simulated time.
+        self.trace: Optional[Any] = None
 
     @property
     def now(self) -> int:

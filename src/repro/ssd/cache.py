@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Set, Tuple
 
+from repro.instrument.metrics import MetricsRegistry, registry_counter
 from repro.ssd.config import SSDConfig
 
 __all__ = ["DeviceReadCache", "CacheStats"]
@@ -42,15 +43,33 @@ LineKey = Tuple[int, int]  # (channel, physical_page_id)
 
 
 class CacheStats:
-    """Running counters of cache activity (mirrored into ReadStats)."""
+    """Running counters of cache activity (mirrored into ReadStats).
 
-    def __init__(self) -> None:
-        self.hits = 0
-        self.misses = 0
-        self.insertions = 0
-        self.evictions = 0
-        self.invalidations = 0
-        self.bypasses = 0  # stripes that skipped the cache (streaming scans)
+    Counters live in a :class:`~repro.instrument.metrics.MetricsRegistry`
+    (the system-wide one when provided, a private one otherwise); the named
+    attributes (``stats.hits`` etc.) are thin delegating properties so every
+    existing call site keeps working unchanged.
+    """
+
+    _FIELDS = ("hits", "misses", "insertions", "evictions",
+               "invalidations", "bypasses")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "cache") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            field: self.registry.counter("%s.%s" % (prefix, field))
+            for field in self._FIELDS
+        }
+
+    hits = registry_counter("hits")
+    misses = registry_counter("misses")
+    insertions = registry_counter("insertions")
+    evictions = registry_counter("evictions")
+    invalidations = registry_counter("invalidations")
+    #: Stripes that skipped the cache (streaming scans).
+    bypasses = registry_counter("bypasses")
 
     @property
     def lookups(self) -> int:
@@ -78,12 +97,18 @@ class DeviceReadCache:
     program, and erase.
     """
 
-    def __init__(self, config: SSDConfig):
+    def __init__(self, config: SSDConfig, sim=None,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "cache"):
         self.config = config
+        # Simulator reference only for trace emission (``sim.trace``); the
+        # cache itself never consumes simulated time.
+        self.sim = sim
+        self.trace_track = "ssd/cache"
         self.line_bytes = config.physical_page_bytes
         self.capacity_lines = config.read_cache_bytes // self.line_bytes
         self.policy = config.read_cache_policy
-        self.stats = CacheStats()
+        self.stats = CacheStats(registry=registry, prefix=prefix)
         # LRU: all lines live in _hot.  2Q: first touch lands in _probation
         # (FIFO); a second touch promotes into _hot (LRU).
         self._hot: "OrderedDict[LineKey, Set[int]]" = OrderedDict()
@@ -98,6 +123,10 @@ class DeviceReadCache:
             self._probation_capacity = 0
         # Reverse index for O(1) LPN-level invalidation.
         self._by_lpn: Dict[int, LineKey] = {}
+
+    def _trace(self):
+        """The attached event bus, or None (tracing off / no simulator)."""
+        return self.sim.trace if self.sim is not None else None
 
     # -------------------------------------------------------------- inspection
     @property
@@ -122,9 +151,13 @@ class DeviceReadCache:
         if not self.enabled:
             return False
         key = (channel, physical)
+        trace = self._trace()
         if key in self._hot:
             self._hot.move_to_end(key)
             self.stats.hits += 1
+            if trace is not None:
+                trace.instant("cache", "hit", self.trace_track,
+                              channel=channel, physical=physical)
             return True
         if key in self._probation:
             # Second touch: the line has proven reuse — promote it.
@@ -132,8 +165,14 @@ class DeviceReadCache:
             self._hot[key] = line
             self._evict_overflow(self._hot, self._hot_capacity)
             self.stats.hits += 1
+            if trace is not None:
+                trace.instant("cache", "hit", self.trace_track,
+                              channel=channel, physical=physical, promoted=True)
             return True
         self.stats.misses += 1
+        if trace is not None:
+            trace.instant("cache", "miss", self.trace_track,
+                          channel=channel, physical=physical)
         return False
 
     def insert(self, channel: int, physical: int, lpns: Iterable[int]) -> None:
@@ -154,11 +193,19 @@ class DeviceReadCache:
             self._hot[key] = line
             self._evict_overflow(self._hot, self._hot_capacity)
         self.stats.insertions += 1
+        trace = self._trace()
+        if trace is not None:
+            trace.instant("cache", "insert", self.trace_track,
+                          channel=channel, physical=physical)
 
     def note_bypass(self, stripes: int = 1) -> None:
         """Record stripes that streamed past the cache (scan bypass)."""
         if self.enabled:
             self.stats.bypasses += stripes
+            trace = self._trace()
+            if trace is not None:
+                trace.instant("cache", "bypass", self.trace_track,
+                              stripes=stripes)
 
     # -------------------------------------------------------------- invalidate
     def invalidate_lpn(self, lpn: int) -> None:
@@ -179,6 +226,10 @@ class DeviceReadCache:
             return
         line.discard(lpn)
         self.stats.invalidations += 1
+        trace = self._trace()
+        if trace is not None:
+            trace.instant("cache", "invalidate", self.trace_track,
+                          reason="lpn", lpn=lpn)
         if not line:
             del store[key]
 
@@ -194,6 +245,10 @@ class DeviceReadCache:
             if self._by_lpn.get(lpn) == key:
                 del self._by_lpn[lpn]
         self.stats.invalidations += 1
+        trace = self._trace()
+        if trace is not None:
+            trace.instant("cache", "invalidate", self.trace_track,
+                          reason="physical", channel=channel, physical=physical)
 
     def invalidate_physical_range(self, channel: int, first_physical: int,
                                   count: int) -> None:
@@ -219,9 +274,13 @@ class DeviceReadCache:
 
     def _evict_overflow(self, store: "OrderedDict[LineKey, Set[int]]",
                         capacity: int) -> None:
+        trace = self._trace()
         while len(store) > capacity:
             key, line = store.popitem(last=False)
             for lpn in line:
                 if self._by_lpn.get(lpn) == key:
                     del self._by_lpn[lpn]
             self.stats.evictions += 1
+            if trace is not None:
+                trace.instant("cache", "evict", self.trace_track,
+                              channel=key[0], physical=key[1])

@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Generator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.errors import EccError, UncorrectableReadError
+from repro.instrument.metrics import MetricsRegistry, registry_counter
 from repro.sim.engine import Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.units import us_to_ns
@@ -53,22 +54,46 @@ class ReadStats:
     Command and page counters are charged *before* dispatch, so commands
     that die with :class:`UncorrectableReadError` still show up here (the
     retry/recovery counters record how they died).
+
+    The counters live in a :class:`~repro.instrument.metrics.MetricsRegistry`
+    (the system-wide one when provided, a private one otherwise); the named
+    attributes stay as delegating properties so ``stats.read_commands += 1``
+    call sites and bench readers keep working unchanged.
     """
 
+    _FIELDS = ("read_commands", "write_commands", "logical_pages_read",
+               "logical_pages_written", "matcher_commands",
+               "coalesced_commands", "coalesced_stripes", "read_retries",
+               "recovered_reads", "unrecoverable_reads")
+
     def __init__(self, logical_page_bytes: int = 4096,
-                 cache: Optional[DeviceReadCache] = None) -> None:
+                 cache: Optional[DeviceReadCache] = None,
+                 registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "ssd.io") -> None:
         self.logical_page_bytes = logical_page_bytes
         self.cache = cache
-        self.read_commands = 0
-        self.write_commands = 0
-        self.logical_pages_read = 0
-        self.logical_pages_written = 0
-        self.matcher_commands = 0
-        self.coalesced_commands = 0  # multi-stripe channel commands issued
-        self.coalesced_stripes = 0  # stripes that rode in one (saved dispatch)
-        self.read_retries = 0
-        self.recovered_reads = 0
-        self.unrecoverable_reads = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            field: self.registry.counter("%s.%s" % (prefix, field))
+            for field in self._FIELDS
+        }
+
+    read_commands = registry_counter("read_commands")
+    write_commands = registry_counter("write_commands")
+    logical_pages_read = registry_counter("logical_pages_read")
+    logical_pages_written = registry_counter("logical_pages_written")
+    matcher_commands = registry_counter("matcher_commands")
+    #: Multi-stripe channel commands issued.
+    coalesced_commands = registry_counter("coalesced_commands")
+    #: Stripes that rode in one (saved dispatch).
+    coalesced_stripes = registry_counter("coalesced_stripes")
+    read_retries = registry_counter("read_retries")
+    recovered_reads = registry_counter("recovered_reads")
+    unrecoverable_reads = registry_counter("unrecoverable_reads")
+
+    def snapshot(self) -> dict:
+        return {field: self._counters[field].value for field in self._FIELDS}
 
     @property
     def bytes_read(self) -> int:
@@ -122,6 +147,8 @@ class Controller:
         ftl: FTL,
         cores: Resource,
         cache: Optional[DeviceReadCache] = None,
+        registry: Optional[MetricsRegistry] = None,
+        prefix: str = "ssd",
     ):
         self.sim = sim
         self.config = config
@@ -129,7 +156,11 @@ class Controller:
         self.ftl = ftl
         self.cores = cores
         self.cache = cache
-        self.stats = ReadStats(config.logical_page_bytes, cache=cache)
+        self.stats = ReadStats(config.logical_page_bytes, cache=cache,
+                               registry=registry, prefix=prefix + ".io")
+        # Trace tracks for ctrl/fw events; SSDDevice rescopes them ("ssd0/io").
+        self.trace_io_track = "ssd/io"
+        self.trace_fw_track = "ssd/fw"
 
     # -------------------------------------------------------------- placement
     def placement(self, lpn: int) -> Tuple[int, int]:
@@ -211,6 +242,9 @@ class Controller:
         """
         if not lpns:
             return
+        trace = self.sim.trace
+        cmd_id = trace.next_id() if trace is not None else 0
+        cmd_start_ns = self.sim.now if trace is not None else 0
         stripes = self._group_stripes(lpns)
         # Command/page accounting happens before dispatch so reads that die
         # with UncorrectableReadError are still visible in the stats.
@@ -221,8 +255,12 @@ class Controller:
             # A matcher-engaged read is a streaming scan by construction:
             # never let it thrash the hot working set.
             cache_bypass = True
+            if trace is not None:
+                trace.instant("matcher", "engage", self.trace_fw_track,
+                              cmd=cmd_id, stripes=len(stripes))
         # Per-command firmware cost on a device core.
-        yield from self._occupy_core(self.config.firmware_read_overhead_us)
+        yield from self._occupy_core(self.config.firmware_read_overhead_us,
+                                     label="read-overhead")
         batches = self._coalesce(stripes, use_matcher)
         for batch in batches:
             if len(batch) > 1:
@@ -241,6 +279,10 @@ class Controller:
                 for batch in batches
             ]
             yield all_of(self.sim, ops)
+        if trace is not None:
+            trace.complete("ctrl", "read", self.trace_io_track, cmd_start_ns,
+                           cmd=cmd_id, pages=len(lpns), stripes=len(stripes),
+                           matcher=use_matcher)
 
     def _read_batch(self, batch: List[Stripe], use_matcher: bool,
                     cache_bypass: bool) -> Generator:
@@ -248,7 +290,7 @@ class Controller:
         dispatch_us = self.STRIPE_DISPATCH_US
         if use_matcher:
             dispatch_us += self.config.matcher_control_us_per_stripe * len(batch)
-        yield from self._occupy_core(dispatch_us)
+        yield from self._occupy_core(dispatch_us, label="dispatch")
         if len(batch) == 1:
             yield from self._read_stripe(batch[0], cache_bypass)
             return
@@ -283,6 +325,11 @@ class Controller:
             except EccError as exc:
                 attempt += 1
                 self.stats.read_retries += 1
+                if self.sim.trace is not None:
+                    self.sim.trace.instant(
+                        "ctrl", "retry", self.trace_io_track,
+                        channel=stripe.channel, physical=stripe.physical,
+                        attempt=attempt)
                 if attempt > self.config.read_retry_limit:
                     self.stats.unrecoverable_reads += 1
                     raise UncorrectableReadError(
@@ -308,30 +355,47 @@ class Controller:
         """Fiber: write logical pages through the FTL."""
         if not lpns:
             return
+        trace = self.sim.trace
+        cmd_id = trace.next_id() if trace is not None else 0
+        cmd_start_ns = self.sim.now if trace is not None else 0
         # Accounted before dispatch, like reads: a write that dies mid-GC
         # (OutOfSpaceError, UncorrectableReadError) was still issued.
         self.stats.write_commands += 1
         self.stats.logical_pages_written += len(lpns)
-        yield from self._occupy_core(self.config.firmware_write_overhead_us)
+        yield from self._occupy_core(self.config.firmware_write_overhead_us,
+                                     label="write-overhead")
         yield from self.ftl.write(list(lpns))
+        if trace is not None:
+            trace.complete("ctrl", "write", self.trace_io_track, cmd_start_ns,
+                           cmd=cmd_id, pages=len(lpns))
 
     def flush(self) -> Generator:
         yield from self.ftl.flush()
 
     # ------------------------------------------------------------- device CPU
-    def _occupy_core(self, duration_us: float) -> Generator:
-        """Hold one device core for ``duration_us`` (models firmware CPU)."""
+    def _occupy_core(self, duration_us: float,
+                     label: Optional[str] = None) -> Generator:
+        """Hold one device core for ``duration_us`` (models firmware CPU).
+
+        With ``label`` (and tracing on), the occupation is emitted as an
+        ``fw`` span — the span starts at the request, so core-queueing time
+        counts as firmware handling latency.
+        """
         if duration_us <= 0:
             return
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield self.cores.request()
         try:
             yield self.sim.timeout(us_to_ns(duration_us))
         finally:
             self.cores.release()
+        if trace is not None and label is not None:
+            trace.complete("fw", label, self.trace_fw_track, start_ns)
 
     def device_compute(self, duration_us: float) -> Generator:
         """Public fiber for SSDlet / firmware compute on a device core."""
-        yield from self._occupy_core(duration_us)
+        yield from self._occupy_core(duration_us, label="compute")
 
     def software_scan(self, num_bytes: int) -> Generator:
         """Fiber: scan ``num_bytes`` in software on one device core.
@@ -340,4 +404,4 @@ class Controller:
         bandwidth (Section VI) — used by the ablation benches.
         """
         rate = self.config.device_scan_bytes_per_sec_per_core
-        yield from self._occupy_core(num_bytes / rate * 1e6)
+        yield from self._occupy_core(num_bytes / rate * 1e6, label="scan")

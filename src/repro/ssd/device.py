@@ -28,24 +28,38 @@ class SSDDevice:
     """One simulated SSD."""
 
     def __init__(self, sim: Simulator, config: Optional[SSDConfig] = None,
-                 fabric=None):
+                 fabric=None, metrics=None, metrics_prefix: str = "ssd"):
         self.sim = sim
         self.config = config or SSDConfig()
         self.config.validate()
         self.nand = NandArray(sim, self.config)
         # A slice of the controller DRAM staged as a read cache in front of
         # the channels (read_cache_bytes = 0 leaves it disabled).
-        self.cache = DeviceReadCache(self.config)
+        self.cache = DeviceReadCache(
+            self.config, sim=sim, registry=metrics,
+            prefix=metrics_prefix + ".cache")
         self.ftl = FTL(sim, self.config, self.nand, read_cache=self.cache)
         # The two ARM cores Biscuit may use (Table I).  Firmware I/O dispatch
         # and SSDlet compute contend for them.
         self.cores = Resource(sim, capacity=self.config.device_cores, name="device-cores")
         self.controller = Controller(sim, self.config, self.nand, self.ftl,
-                                     self.cores, cache=self.cache)
+                                     self.cores, cache=self.cache,
+                                     registry=metrics, prefix=metrics_prefix)
         self.interface = HostInterface(sim, self.config, fabric=fabric)
         self.matchers = [
             PatternMatcher(self.config, i) for i in range(self.config.channels)
         ]
+        # Scope every component's trace track under one per-device process
+        # name ("ssd0/ch3", "ssd0/fw", ...) so multi-SSD traces stay legible.
+        scope = sim.trace.register_device() if sim.trace is not None else "ssd"
+        self.trace_scope = scope
+        for channel in self.nand.channels:
+            channel.trace_track = "%s/ch%d" % (scope, channel.index)
+        self.cache.trace_track = "%s/cache" % scope
+        self.ftl.trace_track = "%s/ftl" % scope
+        self.controller.trace_io_track = "%s/io" % scope
+        self.controller.trace_fw_track = "%s/fw" % scope
+        self.interface.trace_track = "%s/pcie" % scope
         # Logical page content (what a block device would return).
         self._store: Dict[int, bytes] = {}
 

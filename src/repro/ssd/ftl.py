@@ -85,6 +85,8 @@ class FTL:
         self.sim = sim
         self.config = config
         self.nand = nand
+        # Trace track for ftl.* events; SSDDevice rescopes it ("ssd0/ftl").
+        self.trace_track = "ssd/ftl"
         #: Device-DRAM read cache (repro.ssd.cache.DeviceReadCache) to keep
         #: coherent with the mapping: a remapped LPN, a reprogrammed physical
         #: page, or an erased block must never serve a stale line.
@@ -148,12 +150,17 @@ class FTL:
 
     def flush(self) -> Generator:
         """Fiber: force partially-filled open pages onto media."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         programs = []
         for die in self._dies:
             if die.pending:
                 programs.append(self._program_pending(die))
         if programs:
             yield all_of(self.sim, programs)
+        if trace is not None and programs:
+            trace.complete("ftl", "flush", self.trace_track, start_ns,
+                           pages=len(programs))
 
     # ----------------------------------------------------------- internals
     def _invalidate(self, lpn: int) -> None:
@@ -185,6 +192,10 @@ class FTL:
         # Wear leveling: pick the least-erased free block.
         best = min(die.free, key=lambda block: block.erase_count)
         die.free.remove(best)
+        if self.sim.trace is not None:
+            self.sim.trace.instant(
+                "ftl", "alloc-block", self.trace_track, channel=die.channel,
+                die=die.die, block=best.index, erase_count=best.erase_count)
         return best
 
     def _append(self, die: _Die, lpn: int, relocation: bool) -> Generator:
@@ -261,6 +272,8 @@ class FTL:
     def _collect(self, die: _Die, victim: _Block) -> Generator:
         """Relocate the victim's live pages, then erase it."""
         self.gc_runs += 1
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         channel = self.nand[die.channel]
         live: List[int] = []
         for page_index, page_slots in enumerate(victim.slots):
@@ -291,6 +304,10 @@ class FTL:
                 die.channel, self._physical_id(die, victim.index, 0),
                 self.config.pages_per_block)
         die.free.append(victim)
+        if trace is not None:
+            trace.complete("ftl", "gc", self.trace_track, start_ns,
+                           channel=die.channel, die=die.die,
+                           block=victim.index, relocated=len(live))
 
     def _gc_read(self, channel, transfer: int, physical: int,
                  die: _Die, victim: _Block, page_index: int) -> Generator:

@@ -37,6 +37,8 @@ class Channel:
         self.dies = Resource(sim, capacity=config.dies_per_channel, name="ch%d.dies" % index)
         self.bus = Resource(sim, capacity=1, name="ch%d.bus" % index)
         self.injector = None
+        # Trace track for nand.* events; SSDDevice rescopes it ("ssd0/ch3").
+        self.trace_track = "ssd/ch%d" % index
         self.bytes_read = 0
         self.bytes_written = 0
         self.reads = 0
@@ -59,6 +61,8 @@ class Channel:
         fault = None
         if self.injector is not None:
             fault = self.injector.draw_read(self.index, physical_page)
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()
         try:
             sense_ns = us_to_ns(config.nand_read_us)
@@ -84,6 +88,9 @@ class Channel:
             self.dies.release()
         self.bytes_read += transfer_bytes
         self.reads += 1
+        if trace is not None:
+            trace.complete("nand", "read", self.trace_track, start_ns,
+                           bytes=transfer_bytes, page=physical_page)
 
     def program(self, transfer_bytes: int) -> Generator:
         """Program one physical page (bus transfer in, then tPROG on the die)."""
@@ -91,6 +98,8 @@ class Channel:
         if not 0 < transfer_bytes <= config.physical_page_bytes:
             raise ValueError("program of %d bytes into a %d-byte page"
                              % (transfer_bytes, config.physical_page_bytes))
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()
         try:
             yield self.bus.request()
@@ -103,15 +112,22 @@ class Channel:
             self.dies.release()
         self.bytes_written += transfer_bytes
         self.programs += 1
+        if trace is not None:
+            trace.complete("nand", "program", self.trace_track, start_ns,
+                           bytes=transfer_bytes)
 
     def erase(self) -> Generator:
         """Erase one block (die busy for tBERS; no bus traffic)."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()
         try:
             yield self.sim.timeout(us_to_ns(self.config.nand_erase_us))
         finally:
             self.dies.release()
         self.erases += 1
+        if trace is not None:
+            trace.complete("nand", "erase", self.trace_track, start_ns)
 
 
 class NandArray:

@@ -31,17 +31,26 @@ class Fabric:
         self.sim = sim
         self.bytes_per_sec = bytes_per_sec
         self.link = Resource(sim, capacity=1, name="fabric")
+        self.trace_track = "fabric/link"
         self.bytes_moved = 0
 
     def transfer(self, num_bytes: int):
         if num_bytes <= 0:
             return
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield self.link.request()
         try:
             yield self.sim.timeout(transfer_ns(num_bytes, self.bytes_per_sec))
         finally:
             self.link.release()
         self.bytes_moved += num_bytes
+        if trace is not None:
+            # Cut-through hop concurrent with the device link: the breakdown
+            # report's "transfer" component only counts xfer spans on device
+            # pcie tracks, so this shared-switch span never double-counts.
+            trace.complete("xfer", "fabric", self.trace_track, start_ns,
+                           bytes=num_bytes)
 
     def utilization(self) -> float:
         return self.link.utilization()
@@ -56,6 +65,8 @@ class HostInterface:
         self.fabric = fabric
         self.link = Resource(sim, capacity=1, name="pcie")
         self.queue_slots = Resource(sim, capacity=config.nvme_queue_depth, name="nvme-qd")
+        # Trace track for xfer events; SSDDevice rescopes it ("ssd0/pcie").
+        self.trace_track = "ssd/pcie"
         self.bytes_to_host = 0
         self.bytes_to_device = 0
         self.commands = 0
@@ -69,13 +80,23 @@ class HostInterface:
 
     def transfer_to_host(self, num_bytes: int) -> Generator:
         """Fiber: move ``num_bytes`` device→host over the shared link."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield from self._transfer(num_bytes)
         self.bytes_to_host += num_bytes
+        if trace is not None and num_bytes > 0:
+            trace.complete("xfer", "d2h", self.trace_track, start_ns,
+                           bytes=num_bytes)
 
     def transfer_to_device(self, num_bytes: int) -> Generator:
         """Fiber: move ``num_bytes`` host→device over the shared link."""
+        trace = self.sim.trace
+        start_ns = self.sim.now if trace is not None else 0
         yield from self._transfer(num_bytes)
         self.bytes_to_device += num_bytes
+        if trace is not None and num_bytes > 0:
+            trace.complete("xfer", "h2d", self.trace_track, start_ns,
+                           bytes=num_bytes)
 
     def _transfer(self, num_bytes: int) -> Generator:
         if num_bytes <= 0:

@@ -1,0 +1,121 @@
+"""EventBus: attachment, emission, selection, and the disabled fast path."""
+
+import pytest
+
+from repro.host.platform import System
+from repro.instrument.events import EventBus, TraceEvent
+from repro.sim.engine import Simulator
+from repro.sim.units import MIB
+
+
+# ------------------------------------------------------------------ lifecycle
+def test_bus_attaches_to_simulator():
+    sim = Simulator()
+    assert sim.trace is None
+    bus = EventBus(sim)
+    assert sim.trace is bus
+    assert bus.attached
+
+
+def test_second_bus_on_same_sim_rejected():
+    sim = Simulator()
+    EventBus(sim)
+    with pytest.raises(ValueError):
+        EventBus(sim)
+
+
+def test_detach_restores_untraced_state():
+    sim = Simulator()
+    bus = EventBus(sim)
+    bus.detach()
+    assert sim.trace is None
+    assert not bus.attached
+    EventBus(sim)  # a fresh bus may attach again
+
+
+# ------------------------------------------------------------------- emission
+def test_instant_and_complete_events():
+    sim = Simulator()
+    bus = EventBus(sim)
+
+    def fiber():
+        bus.instant("cache", "hit", "ssd0/cache", lpn=7)
+        start_ns = sim.now
+        yield sim.timeout(250)
+        bus.complete("nand", "read", "ssd0/ch3", start_ns, bytes=4096)
+
+    sim.run(sim.process(fiber()))
+    instant, span = bus.events
+    assert instant == TraceEvent(0, None, "cache", "hit", "ssd0/cache",
+                                 {"lpn": 7})
+    assert instant.end_ns == 0  # instants have zero extent
+    assert span.ts_ns == 0 and span.dur_ns == 250
+    assert span.end_ns == 250
+    assert span.args == {"bytes": 4096}
+
+
+def test_next_id_is_monotonic():
+    bus = EventBus(Simulator())
+    first, second = bus.next_id(), bus.next_id()
+    assert second == first + 1
+
+
+def test_select_filters_by_cat_name_track():
+    sim = Simulator()
+    bus = EventBus(sim)
+    bus.instant("cache", "hit", "ssd0/cache")
+    bus.instant("cache", "miss", "ssd0/cache")
+    bus.instant("cache", "hit", "ssd1/cache")
+    assert len(bus.select(cat="cache")) == 3
+    assert len(bus.select(name="hit")) == 2
+    assert len(bus.select(name="hit", track="ssd0/cache")) == 1
+
+
+def test_clear_resets_events_not_ids():
+    bus = EventBus(Simulator())
+    bus.instant("a", "b", "t")
+    first = bus.next_id()
+    bus.clear()
+    assert len(bus) == 0
+    assert bus.next_id() == first + 1  # ids never recycle
+
+
+def test_register_device_assigns_sequential_scopes():
+    bus = EventBus(Simulator())
+    assert bus.register_device() == "ssd0"
+    assert bus.register_device() == "ssd1"
+
+
+# ---------------------------------------------------- disabled ⇒ zero impact
+def _timing_sample(system, path="/bench/inv.dat", samples=8):
+    system.fs.install_synthetic(path, 16 * MIB)
+    handle = system.open_host(path)
+
+    def program():
+        total_ns = 0
+        for index in range(samples):
+            start_ns = system.sim.now
+            yield from handle.read_timing_only(index * 4096, 4096)
+            total_ns += system.sim.now - start_ns
+        return total_ns
+
+    return system.run_fiber(program())
+
+
+def test_tracing_never_advances_simulated_time():
+    """Golden invariance: timing is bit-identical with the bus on or off."""
+    untraced = _timing_sample(System())
+
+    sim = Simulator()
+    bus = EventBus(sim)
+    traced = _timing_sample(System(sim=sim))
+
+    assert traced == untraced
+    assert len(bus.events) > 0  # the traced run did actually record
+
+
+def test_disabled_sites_emit_nothing(system):
+    """With no bus attached every trace site is skipped outright."""
+    assert system.sim.trace is None
+    _timing_sample(system)
+    assert system.sim.trace is None  # nothing attached one mid-run

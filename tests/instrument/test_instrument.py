@@ -23,11 +23,56 @@ def test_begin_end_records_duration():
     assert tracer.total_ns("io") == 1000
 
 
-def test_double_begin_rejected():
-    tracer = SpanTracer(Simulator())
-    tracer.begin("t", "x")
+def test_concurrent_same_named_spans():
+    """Overlapping commands on one queue are the normal case, not an error."""
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def fiber():
+        first = tracer.begin("t", "x")
+        yield sim.timeout(10)
+        second = tracer.begin("t", "x")
+        yield sim.timeout(10)
+        # Bare end() pops LIFO: closes `second`, not `first`.
+        assert tracer.end("t", "x") is second
+        yield sim.timeout(10)
+        tracer.end("t", "x")
+        assert first.end_ns == 30
+
+    sim.run(sim.process(fiber()))
+    spans = tracer.closed_spans("t")
+    assert len(spans) == 2
+    assert len({span.span_id for span in spans}) == 2
+    assert sorted(span.duration_ns for span in spans) == [10, 30]
+
+
+def test_end_specific_span():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+    first = tracer.begin("t", "x")
+    second = tracer.begin("t", "x")
+    assert tracer.end("t", "x", span=first) is first
     with pytest.raises(ValueError):
-        tracer.begin("t", "x")
+        tracer.end("t", "x", span=first)  # already closed
+    tracer.end("t", "x", span=second)
+
+
+def test_concurrent_span_wrappers_close_their_own():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def sleeper(duration_ns):
+        yield sim.timeout(duration_ns)
+
+    fibers = [
+        sim.process(tracer.span("core", "work", sleeper(d)))
+        for d in (300, 100, 200)
+    ]
+    for fiber in fibers:
+        sim.run(fiber)
+    # Each wrapper closed its own span despite the shared (track, name).
+    assert sorted(s.duration_ns for s in tracer.closed_spans("core")) == \
+        [100, 200, 300]
 
 
 def test_end_without_begin_rejected():
@@ -99,6 +144,43 @@ def test_gantt_render():
 
 def test_gantt_empty():
     assert SpanTracer(Simulator()).gantt() == "(no spans)"
+
+
+def test_gantt_zero_duration_marker():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def fiber():
+        span = tracer.begin("t", "instant")
+        tracer.end("t", "instant", span=span)  # zero duration at t=0
+        tracer.begin("t", "work")
+        yield sim.timeout(1000)
+        tracer.end("t", "work")
+
+    sim.run(sim.process(fiber()))
+    row = tracer.gantt(width=20).splitlines()[0]
+    # The instant coincides with the start of real work; '#' wins the cell.
+    assert "|##" in row and row.count("|") == 2  # only the frame bars
+
+
+def test_gantt_lone_zero_duration_span():
+    sim = Simulator()
+    tracer = SpanTracer(sim)
+
+    def fiber():
+        yield sim.timeout(500)
+        span = tracer.begin("t", "mark")
+        tracer.end("t", "mark", span=span)
+        yield sim.timeout(500)
+        tracer.begin("t", "tail")
+        yield sim.timeout(100)
+        tracer.end("t", "tail")
+
+    sim.run(sim.process(fiber()))
+    row = tracer.gantt(width=21).splitlines()[0]
+    cells = row[row.index("|") + 1:row.rindex("|")]
+    assert "|" in cells  # the instant renders as a marker, not a crash
+    assert "#" in cells
 
 
 # -------------------------------------------------------------- utilization
