@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench lint typecheck trace
+.PHONY: test test-fast test-faults bench serve lint typecheck trace
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -26,6 +26,14 @@ test-faults:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
 	$(PYTEST) -q benchmarks/test_ablation_read_cache.py
+
+# Run a serving-layer traffic mix deterministically (override MIX/POLICY,
+# e.g. `make serve MIX=saturation POLICY=wfq`).
+MIX ?= smoke
+POLICY ?= fifo
+serve:
+	PYTHONPATH=src $(PYTHON) -m repro.serve --mix $(MIX) --policy $(POLICY) \
+		--out serve-$(MIX)-$(POLICY).json
 
 # Trace a workload end to end (Perfetto JSON + metrics + breakdown).
 # Override with `make trace WORKLOAD=read_latency`.

@@ -1,0 +1,32 @@
+"""Serving layer: saturation knee, overload loss, WFQ tenant isolation."""
+
+from repro.bench.experiments import exp_serve_saturation
+from repro.bench.harness import save_result
+
+LOADS = (0.5, 1.0, 2.0, 4.0, 8.0)
+
+
+def test_serve_saturation(once):
+    result = once(exp_serve_saturation)
+    print()
+    print(result.format())
+    save_result(result, "serve_saturation")
+    m = result.metrics
+
+    for policy in ("fifo", "wfq"):
+        p99s = [m["%s_load%g_p99_us" % (policy, load)] for load in LOADS]
+        # p99 is monotone non-decreasing past the knee (the last three
+        # sweep points straddle capacity) and the knee is real: the
+        # overloaded point is far above the unloaded one.
+        assert p99s[2] <= p99s[3] <= p99s[4], p99s
+        assert p99s[4] > 2.0 * p99s[0], p99s
+        # Overload sheds load: nonzero rejections/timeouts at the top.
+        assert m["%s_load8_lost" % policy] > 0
+        # Goodput saturates rather than collapsing.
+        assert m["%s_load8_goodput_jps" % policy] >= \
+            0.9 * m["%s_load4_goodput_jps" % policy]
+
+    # WFQ isolation: beside a saturating heavy tenant, the light tenant's
+    # p99 stays within 2x of its isolated-run p99; FIFO does not manage it.
+    assert m["light_wfq_vs_isolated"] < 2.0
+    assert m["light_fifo_vs_isolated"] > m["light_wfq_vs_isolated"]

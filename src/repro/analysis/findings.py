@@ -10,6 +10,7 @@ Numbering:
 
 * ``RPR001``–``RPR0xx`` — AST lint rules (simulator-determinism suite).
 * ``RPR101``–``RPR1xx`` — dataflow-graph verifier rules.
+* ``RPR201``–``RPR2xx`` — AST lint rules (SSDlet cooperative scheduling).
 """
 
 from __future__ import annotations
@@ -22,6 +23,7 @@ __all__ = [
     "RULES",
     "GRAPH_RULES",
     "LINT_RULES",
+    "SSDLET_LINT_RULES",
     "rule_ids",
     "describe_rule",
 ]
@@ -108,6 +110,20 @@ LINT_RULES: List[Rule] = [
     ),
 ]
 
+#: SSDlet cooperative-scheduling lint rules (also checked by the AST pass).
+SSDLET_LINT_RULES: List[Rule] = [
+    Rule(
+        "RPR201",
+        "SSDlet run() must yield",
+        "run() executes as a cooperative fiber on a shared device core; a "
+        "body that never yields holds the core until it returns, starving "
+        "every co-resident application (and, under the serving layer, every "
+        "other tenant's jobs). Every device operation — I/O, port put/get, "
+        "compute — is an event to yield; an intentional non-fiber needs an "
+        "explicit waiver.",
+    ),
+]
+
 #: Dataflow-graph verifier rules (see repro.analysis.graph).
 GRAPH_RULES: List[Rule] = [
     Rule(
@@ -157,7 +173,7 @@ GRAPH_RULES: List[Rule] = [
     ),
 ]
 
-RULES: List[Rule] = LINT_RULES + GRAPH_RULES
+RULES: List[Rule] = LINT_RULES + GRAPH_RULES + SSDLET_LINT_RULES
 
 _BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
 

@@ -1,4 +1,4 @@
-"""AST lint rules RPR001-RPR006: simulator-determinism invariants.
+"""AST lint rules RPR001-RPR006 and RPR2xx: simulator invariants.
 
 One pass over a module's AST checks every rule; each checker is a method of
 :class:`_LintVisitor`.  The rules exist because the simulator's contract is
@@ -14,6 +14,7 @@ Rules (catalogue and rationale in :mod:`repro.analysis.findings`):
 * RPR004 — time-unit discipline (unit suffixes, mixed-unit arithmetic).
 * RPR005 — blocking I/O inside generator fibers.
 * RPR006 — simulator events created and discarded without being awaited.
+* RPR201 — SSDlet ``run()`` bodies that never yield (core monopolization).
 """
 
 from __future__ import annotations
@@ -79,6 +80,10 @@ _NORMALIZED_UNIT = {"sec": "s", "secs": "s", "seconds": "s"}
 _EVENT_FACTORY_ATTRS = frozenset({"timeout", "event", "process"})
 _EVENT_COMBINATORS = frozenset({"all_of", "any_of"})
 
+#: Base-class name suffixes that mark a class as an SSDlet (direct bases
+#: only — a heuristic, but subclass chains in this codebase keep the suffix).
+_SSDLET_BASE_SUFFIXES = ("SSDLet", "SSDlet")
+
 
 def check_module(tree: ast.Module, path: str) -> List[Finding]:
     """Run every lint rule over one parsed module."""
@@ -118,6 +123,23 @@ def _walk_same_scope(func: ast.AST):
                              ast.ClassDef)):
             continue
         stack.extend(ast.iter_child_nodes(node))
+
+
+def _is_abstract_stub(func: ast.AST) -> bool:
+    """Body is only a docstring plus raise/pass/... (an intentional stub)."""
+    body = list(getattr(func, "body", []))
+    if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant) and isinstance(
+            body[0].value.value, str):
+        body = body[1:]
+    if not body:
+        return True
+    return all(
+        isinstance(stmt, (ast.Raise, ast.Pass))
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body)
 
 
 def _name_unit(name: str) -> Optional[str]:
@@ -188,6 +210,32 @@ class _LintVisitor(ast.NodeVisitor):
                 local = alias.asname or alias.name
                 self.aliases[local] = "%s.%s" % (node.module, alias.name)
         self.generic_visit(node)
+
+    # -------------------------------------------------------------- classes
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if self._is_ssdlet_class(node):
+            for item in node.body:
+                if (isinstance(item, ast.FunctionDef) and item.name == "run"
+                        and not _contains_yield(item)
+                        and not _is_abstract_stub(item)):
+                    self._emit(
+                        "RPR201",
+                        "SSDlet run() never yields: the fiber would "
+                        "monopolize a device core for its whole lifetime; "
+                        "yield device events (I/O, ports, compute) or waive "
+                        "explicitly",
+                        item,
+                    )
+        self.generic_visit(node)
+
+    def _is_ssdlet_class(self, node: ast.ClassDef) -> bool:
+        for base in node.bases:
+            dotted = self._resolve(_dotted_name(base))
+            if dotted is None:
+                continue
+            if dotted.rsplit(".", 1)[-1].endswith(_SSDLET_BASE_SUFFIXES):
+                return True
+        return False
 
     # ------------------------------------------------------------ functions
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:

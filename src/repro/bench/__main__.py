@@ -27,6 +27,7 @@ EXPERIMENTS = {
     "fig9": ("Fig. 9 — power", experiments.exp_fig9_power, True),
     "table6": ("Table VI — energy", experiments.exp_table6_energy, True),
     "fig10": ("Fig. 10 — full TPC-H", experiments.exp_fig10_tpch, True),
+    "serve": ("Serving — saturation sweep + fairness", experiments.exp_serve_saturation, False),
 }
 
 

@@ -333,13 +333,23 @@ class Application:
         config = self.ssd.system.config
         yield from self.ssd.channels.interface_crossing(64, to_host=True)
         yield from self._host_compute(config.d2h_host_receiver_us)
+        # Every fiber has finished: return the data channels to the pool and
+        # drop the runtime bookkeeping, so load/run/unload cycles are
+        # steady-state (a serving workload would otherwise exhaust the
+        # channel pool after channel_pool_size jobs).
+        self._teardown()
 
     def stop(self) -> None:
         """Interrupt all still-running task fibers and release channels."""
         for fiber in self.device_app.fibers + self._host_fibers:
             if fiber.is_alive:
                 fiber.interrupt("application stop")
+        self._teardown()
+
+    def _teardown(self) -> None:
         self._release_channels()
+        self._host_fibers = []
+        self.ssd.runtime.retire_application(self.device_app)
 
     def _release_channels(self) -> None:
         while self._data_channels_held:

@@ -236,6 +236,32 @@ class BiscuitRuntime:
     def application_done(self, app: DeviceApplication) -> Event:
         return all_of(self.sim, app.fibers)
 
+    def retire_application(self, app: DeviceApplication) -> None:
+        """Drop a finished application's runtime bookkeeping.
+
+        Host-side teardown (``Application.wait``/``stop``) calls this so
+        repeated load/run/unload cycles in one simulation — the serving
+        layer's steady state — do not accumulate dead applications, fiber
+        lists, or link declarations.  Idempotent; fiber/instance lists are
+        only cleared once every fiber has actually finished (an interrupted
+        fiber still needs its teardown ``finally`` to run).
+        """
+        if all(not fiber.is_alive for fiber in app.fibers):
+            app.fibers = []
+            app.instances = []
+
+        def _other_app(link: Tuple[Any, ...]) -> bool:
+            out_ep, in_ep = link[0], link[1]
+            return (out_ep.proxy.app.device_app is not app
+                    and in_ep.proxy.app.device_app is not app)
+
+        self.pending_links = [l for l in self.pending_links if _other_app(l)]
+        self.declared_links = [l for l in self.declared_links if _other_app(l)]
+        try:
+            self.applications.remove(app)
+        except ValueError:
+            pass
+
     # --------------------------------------------------------------- sessions
     def register_session(self, session) -> None:
         if session.user in self._sessions:

@@ -133,6 +133,7 @@ class Histogram:
             "mean": self.mean,
             "p50": self.quantile(0.50),
             "p90": self.quantile(0.90),
+            "p95": self.quantile(0.95),
             "p99": self.quantile(0.99),
         }
 

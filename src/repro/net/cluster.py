@@ -18,7 +18,78 @@ from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns, us_to_ns
 from repro.ssd.config import SSDConfig
 
-__all__ = ["NetworkLink", "StorageNode", "ScaleOutCluster"]
+__all__ = [
+    "LeastLoadedPlacement",
+    "NetworkLink",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "ScaleOutCluster",
+    "StorageNode",
+    "make_placement",
+]
+
+
+# ---------------------------------------------------------------- placement
+class PlacementPolicy:
+    """Chooses a device/node for the next job.
+
+    ``pick`` receives the *eligible* candidates as ``(index, load)`` pairs
+    (callers filter out full devices first); ``load`` is an orderable
+    pressure key — the serving layer uses
+    ``(slots_in_use, controller.inflight_commands)``.  Deterministic by
+    construction: ties always break on the smallest index.
+    """
+
+    name = "base"
+
+    def pick(self, candidates: List[tuple]) -> int:
+        raise NotImplementedError
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through devices, skipping ineligible ones."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next = 0
+
+    def pick(self, candidates: List[tuple]) -> int:
+        if not candidates:
+            raise ValueError("no eligible placement candidates")
+        indices = sorted(index for index, _load in candidates)
+        for index in indices:
+            if index >= self._next:
+                self._next = index + 1
+                return index
+        # Wrapped around the cycle.
+        self._next = indices[0] + 1
+        return indices[0]
+
+
+class LeastLoadedPlacement(PlacementPolicy):
+    """Send the job to the least-loaded eligible device."""
+
+    name = "least_loaded"
+
+    def pick(self, candidates: List[tuple]) -> int:
+        if not candidates:
+            raise ValueError("no eligible placement candidates")
+        best_index, best_load = candidates[0]
+        for index, load in candidates[1:]:
+            if load < best_load or (load == best_load and index < best_index):
+                best_index, best_load = index, load
+        return best_index
+
+
+def make_placement(policy: str) -> PlacementPolicy:
+    if policy == "round_robin":
+        return RoundRobinPlacement()
+    if policy == "least_loaded":
+        return LeastLoadedPlacement()
+    raise ValueError(
+        "unknown placement policy %r (one of round_robin, least_loaded)"
+        % (policy,))
 
 
 class NetworkLink:

@@ -1,0 +1,334 @@
+"""Typed NDP job kinds served by the JobManager.
+
+A *job kind* bundles everything the serving layer needs to run one request
+class on a device: the SSDlet module to (dynamically) load, the per-device
+dataset it reads, and the host-side fiber that builds the Application, wires
+its ports, collects the result and tears the application down.
+
+Three kinds mirror the paper's workloads:
+
+* ``string_search`` — a :class:`~repro.apps.string_search.Searcher` SSDlet
+  streams a slice of a web log through the matcher IP (Table V).
+* ``pointer_chase`` — a :class:`~repro.apps.pointer_chase.Chaser` SSDlet
+  performs a dependent-read random walk (Table IV).
+* ``db_scan`` — a :class:`~repro.db.ndp.ScanFilter` SSDlet runs a
+  table-scan pushdown over a synthetic table (Section V-C, MiniDB).
+
+Datasets are synthetic/analytic: no page content is materialized, so a
+serving run costs simulation events, not memory, while every read is still
+timed and placement-correct.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.apps.pointer_chase import (
+    MODULE_IMAGE_PATH as CHASE_IMAGE_PATH,
+    NODE_RECORD_BYTES,
+    POINTER_CHASE_MODULE,
+    GraphFile,
+)
+from repro.apps.string_search import (
+    MODULE_IMAGE_PATH as SEARCH_IMAGE_PATH,
+    STRING_SEARCH_MODULE,
+)
+from repro.core import Application, DeviceFile, Packet, SSDLetProxy
+from repro.db.ndp import MODULE_IMAGE_PATH as NDP_IMAGE_PATH, NDP_MODULE
+from repro.sim.engine import Event
+from repro.sim.units import KIB, MIB
+
+__all__ = [
+    "JOB_KINDS",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "install_serve_datasets",
+    "job_kind_names",
+]
+
+# --------------------------------------------------------------- dataset layout
+WEBLOG_PATH = "/serve/weblog"
+WEBLOG_BYTES = 8 * MIB
+WEBLOG_KEYWORD = "ERROR"
+WEBLOG_MATCH_PROBABILITY = 0.02
+
+GRAPH_PATH = "/serve/graph"
+GRAPH_NODES = 1 << 16  # 64 Ki nodes x 64 B records = 4 MiB
+GRAPH_SEED = 7
+
+TABLE_PATH = "/serve/table"
+TABLE_PAGES = 1024  # 4 MiB at 4 KiB pages
+TABLE_PAGE_BYTES = 4 * KIB
+TABLE_ROWS_PER_PAGE = 8
+
+#: Default DRAM reservation charged against ``SSDConfig.serve_dram_budget_bytes``
+#: per admitted job (instance base footprint plus working buffers).
+DEFAULT_JOB_DRAM_BYTES = 256 * KIB
+
+
+class JobState:
+    """Lifecycle of one request (plain string states; easy to log/assert)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    REJECTED = "rejected"
+    TIMED_OUT = "timed_out"
+    FAILED = "failed"
+
+
+@dataclass
+class JobSpec:
+    """An immutable request description, as a tenant would submit it."""
+
+    tenant: str
+    kind: str
+    #: Kind-specific parameters (offsets, hop counts, page ranges).
+    params: Dict[str, Any] = field(default_factory=dict)
+    #: Relative service demand used by weighted-fair queueing (any unit,
+    #: as long as one tenant mix uses it consistently).
+    cost: float = 1.0
+    #: Queue-residency limit; a job still queued past this is timed out.
+    timeout_us: Optional[float] = None
+    #: Latency objective; completions slower than this count as SLO misses.
+    slo_us: Optional[float] = None
+    priority: int = 0
+    dram_bytes: int = DEFAULT_JOB_DRAM_BYTES
+
+
+class Job:
+    """One submitted request tracked through the serving pipeline."""
+
+    _ids = itertools.count(1)
+
+    def __init__(self, spec: JobSpec, sim, submit_ns: int):
+        self.spec = spec
+        self.job_id = next(Job._ids)
+        self.state = JobState.PENDING
+        self.submit_ns = submit_ns
+        self.start_ns: Optional[int] = None
+        self.finish_ns: Optional[int] = None
+        self.device_index: Optional[int] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self.reject_reason: Optional[str] = None
+        #: Triggers (with the job as value) when the job leaves the system —
+        #: done, failed, timed out, or rejected.  Closed-loop tenants block
+        #: on this.
+        self.done = Event(sim)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<Job %d %s/%s %s>" % (
+            self.job_id, self.spec.tenant, self.spec.kind, self.state)
+
+
+# ------------------------------------------------------------------- job kinds
+class JobKindBase:
+    """One request class: module identity + dataset + host-side run fiber."""
+
+    name = "base"
+    module = None
+    image_path = ""
+
+    def install(self, fs) -> None:
+        """Install this kind's per-device dataset (idempotent)."""
+        raise NotImplementedError
+
+    def default_params(self) -> Dict[str, Any]:
+        raise NotImplementedError
+
+    def draw_params(self, rng, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        """Deterministic per-job parameters (``rng`` is the tenant's)."""
+        raise NotImplementedError
+
+    def params_of(self, job: Job) -> Dict[str, Any]:
+        """The job's parameters over this kind's defaults (direct submits
+        may carry a partial — or empty — params dict)."""
+        params = self.default_params()
+        params.update(job.spec.params)
+        return params
+
+    def run(self, server, mid: int, job: Job) -> Generator:
+        """Fiber: execute the job on ``server``; returns the result value."""
+        raise NotImplementedError
+
+
+class StringSearchKind(JobKindBase):
+    name = "string_search"
+    module = STRING_SEARCH_MODULE
+    image_path = SEARCH_IMAGE_PATH
+
+    def install(self, fs) -> None:
+        if not fs.exists(WEBLOG_PATH):
+            fs.install_synthetic(
+                WEBLOG_PATH, WEBLOG_BYTES,
+                analytic_profile={
+                    WEBLOG_KEYWORD.encode(): WEBLOG_MATCH_PROBABILITY},
+            )
+
+    def default_params(self) -> Dict[str, Any]:
+        return {"scan_bytes": 256 * KIB, "offset": 0}
+
+    def draw_params(self, rng, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        params = self.default_params()
+        params.update(overrides)
+        scan_bytes = params["scan_bytes"]
+        pages = max(1, (WEBLOG_BYTES - scan_bytes) // (4 * KIB))
+        params["offset"] = rng.randrange(pages) * 4 * KIB
+        return params
+
+    def run(self, server, mid: int, job: Job) -> Generator:
+        params = self.params_of(job)
+        app = Application(server.ssd, "serve-search-%d" % job.job_id)
+        try:
+            token = DeviceFile(server.ssd, WEBLOG_PATH, use_matcher=True)
+            length = min(params["scan_bytes"],
+                         WEBLOG_BYTES - params["offset"])
+            proxy = SSDLetProxy(
+                app, mid, "idSearcher",
+                (token, WEBLOG_KEYWORD, params["offset"], length),
+            )
+            port = app.connectTo(proxy.out(0), int)
+            yield from app.start()
+            count = yield from port.get_opt()
+            yield from app.wait()
+        except BaseException:
+            # Failed jobs must not strand the device-side application.
+            app.stop()
+            raise
+        return count if count is not None else 0
+
+
+class PointerChaseKind(JobKindBase):
+    name = "pointer_chase"
+    module = POINTER_CHASE_MODULE
+    image_path = CHASE_IMAGE_PATH
+
+    def install(self, fs) -> None:
+        if not fs.exists(GRAPH_PATH):
+            fs.install_synthetic(GRAPH_PATH, GRAPH_NODES * NODE_RECORD_BYTES)
+
+    def default_params(self) -> Dict[str, Any]:
+        return {"hops": 16, "start": 0}
+
+    def draw_params(self, rng, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        params = self.default_params()
+        params.update(overrides)
+        params["start"] = rng.randrange(GRAPH_NODES)
+        return params
+
+    def run(self, server, mid: int, job: Job) -> Generator:
+        params = self.params_of(job)
+        graph = GraphFile(GRAPH_PATH, GRAPH_NODES, GRAPH_SEED, exact=False)
+        app = Application(server.ssd, "serve-chase-%d" % job.job_id)
+        try:
+            token = DeviceFile(server.ssd, GRAPH_PATH)
+            proxy = SSDLetProxy(
+                app, mid, "idChaser",
+                (token, graph, [params["start"]], params["hops"]),
+            )
+            port = app.connectTo(proxy.out(0), int)
+            yield from app.start()
+            final = yield from port.get_opt()
+            yield from app.wait()
+        except BaseException:
+            app.stop()
+            raise
+        return final
+
+
+def _table_page_rows(page_no: int):
+    """Synthetic decoded rows for one table page: (row_id, bucket)."""
+    base = page_no * TABLE_ROWS_PER_PAGE
+    return [(base + i, (base + i) % 97) for i in range(TABLE_ROWS_PER_PAGE)]
+
+
+def _table_prefilter(row) -> bool:
+    return row[1] < 13
+
+
+def _table_predicate(row) -> bool:
+    return row[1] < 13 and row[0] % 2 == 0
+
+
+class DbScanKind(JobKindBase):
+    name = "db_scan"
+    module = NDP_MODULE
+    image_path = NDP_IMAGE_PATH
+
+    def install(self, fs) -> None:
+        if not fs.exists(TABLE_PATH):
+            fs.install_synthetic(TABLE_PATH, TABLE_PAGES * TABLE_PAGE_BYTES)
+
+    def default_params(self) -> Dict[str, Any]:
+        return {"num_pages": 64, "first_page": 0}
+
+    def draw_params(self, rng, overrides: Dict[str, Any]) -> Dict[str, Any]:
+        params = self.default_params()
+        params.update(overrides)
+        span = max(1, TABLE_PAGES - params["num_pages"])
+        params["first_page"] = rng.randrange(span)
+        return params
+
+    def run(self, server, mid: int, job: Job) -> Generator:
+        import pickle
+
+        params = self.params_of(job)
+        app = Application(server.ssd, "serve-scan-%d" % job.job_id)
+        try:
+            # A serving scan is a streaming read: bypass the device cache so
+            # it cannot evict another tenant's hot working set.
+            token = DeviceFile(server.ssd, TABLE_PATH, use_matcher=True,
+                               cache_bypass=True)
+            scan_job = {
+                "page_rows": _table_page_rows,
+                "prefilter": _table_prefilter,
+                "predicate": _table_predicate,
+                "out_idx": [0],
+                "page_size": TABLE_PAGE_BYTES,
+                "batch_rows": 128,
+                "first_page": params["first_page"],
+                "num_pages": min(params["num_pages"],
+                                 TABLE_PAGES - params["first_page"]),
+            }
+            proxy = SSDLetProxy(app, mid, "idScanFilter", (token, scan_job))
+            port = app.connectTo(proxy.out(0), Packet)
+            yield from app.start()
+            rows = 0
+            while True:
+                packet = yield from port.get_opt()
+                if packet is None:
+                    break
+                rows += len(pickle.loads(packet.payload))
+            yield from app.wait()
+        except BaseException:
+            app.stop()
+            raise
+        return rows
+
+
+#: The job-kind registry, keyed by kind name.  Iterate via
+#: :func:`job_kind_names` so the order is deterministic.
+JOB_KINDS: Dict[str, JobKindBase] = {
+    kind.name: kind
+    for kind in (StringSearchKind(), PointerChaseKind(), DbScanKind())
+}
+
+
+def job_kind_names():
+    return sorted(JOB_KINDS)
+
+
+def install_serve_datasets(system) -> None:
+    """Install every kind's dataset + module image on every device."""
+    from repro.core.module import write_module_image
+
+    for fs in system.filesystems:
+        for name in job_kind_names():
+            kind = JOB_KINDS[name]
+            kind.install(fs)
+            if not fs.exists(kind.image_path):
+                write_module_image(fs, kind.image_path, kind.module)

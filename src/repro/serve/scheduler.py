@@ -1,0 +1,177 @@
+"""Pluggable request schedulers for the serving layer.
+
+All three policies expose the same tiny interface — ``push(job)``,
+``peek(now_ns)``, ``pop(now_ns)``, ``len()`` — and are strictly
+deterministic: every tie breaks on the global submission sequence number,
+never on hash order or object identity.
+
+* :class:`FIFOScheduler` — global arrival order.
+* :class:`WFQScheduler` — weighted fair queueing across tenants
+  (start-time-clocked virtual finish tags, SCFQ style): each job's virtual
+  finish is ``max(vtime, tenant_last_finish) + cost / weight``; the smallest
+  finish tag runs next.  A light tenant's occasional jobs carry small tags
+  and overtake a heavy tenant's backlog, which is what bounds the light
+  tenant's latency under saturation.
+* :class:`PriorityScheduler` — highest static priority first, with an aging
+  starvation guard: a job's effective priority grows by one band per
+  ``aging_us`` spent queued, so a starved low-priority job eventually
+  outranks fresh high-priority arrivals.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+from repro.serve.jobs import Job
+from repro.sim.units import ns_to_us
+
+__all__ = [
+    "FIFOScheduler",
+    "PriorityScheduler",
+    "SCHEDULER_POLICIES",
+    "Scheduler",
+    "WFQScheduler",
+    "make_scheduler",
+]
+
+
+class Scheduler:
+    """Policy interface; concrete policies override push/peek/pop."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._seq = itertools.count(1)
+
+    def push(self, job: Job) -> None:
+        raise NotImplementedError
+
+    def peek(self, now_ns: int) -> Optional[Job]:
+        """The job ``pop`` would return, without removing it."""
+        raise NotImplementedError
+
+    def pop(self, now_ns: int) -> Optional[Job]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class FIFOScheduler(Scheduler):
+    name = "fifo"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: List[Job] = []
+
+    def push(self, job: Job) -> None:
+        self._queue.append(job)
+
+    def peek(self, now_ns: int) -> Optional[Job]:
+        return self._queue[0] if self._queue else None
+
+    def pop(self, now_ns: int) -> Optional[Job]:
+        return self._queue.pop(0) if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+class WFQScheduler(Scheduler):
+    """Weighted fair queueing across tenants (virtual finish tags)."""
+
+    name = "wfq"
+
+    def __init__(self, weights: Optional[Dict[str, float]] = None) -> None:
+        super().__init__()
+        self._weights = dict(weights or {})
+        self._heap: List[Tuple[float, int, Job]] = []
+        self._last_finish: Dict[str, float] = {}
+        self._vtime = 0.0
+
+    def weight_of(self, tenant: str) -> float:
+        return self._weights.get(tenant, 1.0)
+
+    def push(self, job: Job) -> None:
+        tenant = job.spec.tenant
+        start = max(self._vtime, self._last_finish.get(tenant, 0.0))
+        finish = start + job.spec.cost / self.weight_of(tenant)
+        self._last_finish[tenant] = finish
+        heapq.heappush(self._heap, (finish, next(self._seq), job))
+
+    def peek(self, now_ns: int) -> Optional[Job]:
+        return self._heap[0][2] if self._heap else None
+
+    def pop(self, now_ns: int) -> Optional[Job]:
+        if not self._heap:
+            return None
+        finish, _seq, job = heapq.heappop(self._heap)
+        # SCFQ: the system's virtual clock follows the tag in service.
+        self._vtime = max(self._vtime, finish)
+        return job
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class PriorityScheduler(Scheduler):
+    """Static priorities + aging so low-priority jobs cannot starve."""
+
+    name = "priority"
+
+    #: Queue time that buys one priority band (the starvation guard).
+    DEFAULT_AGING_US = 20_000.0
+
+    def __init__(self, aging_us: float = DEFAULT_AGING_US) -> None:
+        super().__init__()
+        if aging_us <= 0:
+            raise ValueError("aging_us must be positive")
+        self.aging_us = aging_us
+        self._queue: List[Tuple[int, Job]] = []  # (submit seq, job)
+
+    def push(self, job: Job) -> None:
+        self._queue.append((next(self._seq), job))
+
+    def _select(self, now_ns: int) -> int:
+        best = 0
+        best_key: Optional[Tuple[float, int]] = None
+        for index, (seq, job) in enumerate(self._queue):
+            waited_us = ns_to_us(now_ns - job.submit_ns)
+            effective = job.spec.priority + int(waited_us // self.aging_us)
+            key = (-float(effective), seq)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = index
+        return best
+
+    def peek(self, now_ns: int) -> Optional[Job]:
+        if not self._queue:
+            return None
+        return self._queue[self._select(now_ns)][1]
+
+    def pop(self, now_ns: int) -> Optional[Job]:
+        if not self._queue:
+            return None
+        return self._queue.pop(self._select(now_ns))[1]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+
+SCHEDULER_POLICIES = ("fifo", "wfq", "priority")
+
+
+def make_scheduler(policy: str,
+                   weights: Optional[Dict[str, float]] = None) -> Scheduler:
+    """Build a scheduler by policy name (tenant weights feed WFQ only)."""
+    if policy == "fifo":
+        return FIFOScheduler()
+    if policy == "wfq":
+        return WFQScheduler(weights)
+    if policy == "priority":
+        return PriorityScheduler()
+    raise ValueError(
+        "unknown scheduler policy %r (one of %s)"
+        % (policy, ", ".join(SCHEDULER_POLICIES)))

@@ -200,6 +200,15 @@ class Process(Event):
             # Request events (Resource/Store) are single-waiter: flag the
             # abandonment so pending grants are not burned on this fiber.
             target.abandoned = True
+        if target._callbacks is not None:
+            # Detach from the old wait: a target that already triggered but
+            # has not run its callbacks yet would otherwise resume the fiber
+            # normally in this very timestep, and the interrupt event below
+            # would then be dropped as a stale wakeup — losing the interrupt.
+            try:
+                target._callbacks.remove(self._resume)
+            except ValueError:
+                pass
         self._waiting_on = None
         interrupt_event = Event(self.sim)
         interrupt_event.defused = True

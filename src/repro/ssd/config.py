@@ -118,6 +118,16 @@ class SSDConfig:
     module_load_us_per_kib: float = 18.0  # symbol relocation + copy-in
     module_fixed_load_us: float = 350.0
 
+    # ------------------------------------------------------------------ serving
+    # Admission-control budgets for the multi-tenant serving layer
+    # (repro.serve).  A device accepts at most ``serve_app_slots`` concurrently
+    # resident SSDlet applications (the paper's multi-tasking runtime shares
+    # two cores, so a small multiple of ``device_cores`` keeps queueing visible
+    # without thrashing) and at most ``serve_dram_budget_bytes`` of the user
+    # arena reserved across admitted jobs.
+    serve_app_slots: int = 4
+    serve_dram_budget_bytes: int = 128 * MIB
+
     # misc bookkeeping
     name: str = "biscuit-nvme-1tb"
     extra: dict = field(default_factory=dict)
@@ -178,3 +188,9 @@ class SSDConfig:
             raise ValueError("read_cache_hit_us cannot be negative")
         if self.read_coalesce_limit < 1:
             raise ValueError("read_coalesce_limit must be at least 1")
+        if self.serve_app_slots < 1:
+            raise ValueError("serve_app_slots must be at least 1")
+        if self.serve_dram_budget_bytes < 0:
+            raise ValueError("serve_dram_budget_bytes cannot be negative")
+        if self.serve_dram_budget_bytes > self.user_heap_bytes:
+            raise ValueError("serve_dram_budget_bytes cannot exceed user heap")

@@ -158,6 +158,10 @@ class Controller:
         self.cache = cache
         self.stats = ReadStats(config.logical_page_bytes, cache=cache,
                                registry=registry, prefix=prefix + ".io")
+        # Read/write commands currently in flight (issued, not yet completed
+        # or failed).  The serving layer's least-loaded placement reads this
+        # as the device's instantaneous I/O pressure.
+        self.inflight_commands = 0
         # Trace tracks for ctrl/fw events; SSDDevice rescopes them ("ssd0/io").
         self.trace_io_track = "ssd/io"
         self.trace_fw_track = "ssd/fw"
@@ -249,6 +253,7 @@ class Controller:
         # Command/page accounting happens before dispatch so reads that die
         # with UncorrectableReadError are still visible in the stats.
         self.stats.read_commands += 1
+        self.inflight_commands += 1
         self.stats.logical_pages_read += sum(len(s.lpns) for s in stripes)
         if use_matcher:
             self.stats.matcher_commands += 1
@@ -258,27 +263,31 @@ class Controller:
             if trace is not None:
                 trace.instant("matcher", "engage", self.trace_fw_track,
                               cmd=cmd_id, stripes=len(stripes))
-        # Per-command firmware cost on a device core.
-        yield from self._occupy_core(self.config.firmware_read_overhead_us,
-                                     label="read-overhead")
-        batches = self._coalesce(stripes, use_matcher)
-        for batch in batches:
-            if len(batch) > 1:
-                self.stats.coalesced_commands += 1
-                self.stats.coalesced_stripes += len(batch) - 1
-        if len(batches) == 1:
-            # Fast path: single-channel commands (point reads, index probes)
-            # run inline — no fan-out fibers to spawn or join.
-            yield from self._read_batch(batches[0], use_matcher, cache_bypass)
-        else:
-            ops = [
-                self.sim.process(
-                    self._read_batch(batch, use_matcher, cache_bypass),
-                    name="stripe ch%d" % batch[0].channel,
-                )
-                for batch in batches
-            ]
-            yield all_of(self.sim, ops)
+        try:
+            # Per-command firmware cost on a device core.
+            yield from self._occupy_core(self.config.firmware_read_overhead_us,
+                                         label="read-overhead")
+            batches = self._coalesce(stripes, use_matcher)
+            for batch in batches:
+                if len(batch) > 1:
+                    self.stats.coalesced_commands += 1
+                    self.stats.coalesced_stripes += len(batch) - 1
+            if len(batches) == 1:
+                # Fast path: single-channel commands (point reads, index
+                # probes) run inline — no fan-out fibers to spawn or join.
+                yield from self._read_batch(batches[0], use_matcher,
+                                            cache_bypass)
+            else:
+                ops = [
+                    self.sim.process(
+                        self._read_batch(batch, use_matcher, cache_bypass),
+                        name="stripe ch%d" % batch[0].channel,
+                    )
+                    for batch in batches
+                ]
+                yield all_of(self.sim, ops)
+        finally:
+            self.inflight_commands -= 1
         if trace is not None:
             trace.complete("ctrl", "read", self.trace_io_track, cmd_start_ns,
                            cmd=cmd_id, pages=len(lpns), stripes=len(stripes),
@@ -362,9 +371,14 @@ class Controller:
         # (OutOfSpaceError, UncorrectableReadError) was still issued.
         self.stats.write_commands += 1
         self.stats.logical_pages_written += len(lpns)
-        yield from self._occupy_core(self.config.firmware_write_overhead_us,
-                                     label="write-overhead")
-        yield from self.ftl.write(list(lpns))
+        self.inflight_commands += 1
+        try:
+            yield from self._occupy_core(
+                self.config.firmware_write_overhead_us,
+                label="write-overhead")
+            yield from self.ftl.write(list(lpns))
+        finally:
+            self.inflight_commands -= 1
         if trace is not None:
             trace.complete("ctrl", "write", self.trace_io_track, cmd_start_ns,
                            cmd=cmd_id, pages=len(lpns))

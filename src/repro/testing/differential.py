@@ -26,6 +26,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro.apps.pointer_chase import biscuit_pointer_chase, build_exact_graph
+from repro.apps.string_search import biscuit_string_search, install_weblog
 from repro.core.errors import DeviceError
 from repro.db.catalog import TableSchema
 from repro.db.executor import Engine, EngineConfig, ExecutionMode
@@ -36,12 +38,14 @@ from repro.db.ndp import NDPContext, ndp_aggregate_supported
 from repro.db.planner import NDPPlanner
 from repro.db.storage import Database
 from repro.host.platform import System
+from repro.sim.engine import all_of
 from repro.testing import strategies
 from repro.testing.faults import FaultInjector
 
 __all__ = [
-    "CaseResult", "run_case", "run_sweep", "replay", "summarize",
-    "rows_match", "eval_expr", "reference_rows", "force_offload_config",
+    "CaseResult", "run_case", "run_case_interleaved", "run_sweep", "replay",
+    "summarize", "rows_match", "eval_expr", "reference_rows",
+    "force_offload_config",
 ]
 
 
@@ -277,6 +281,101 @@ def run_case(seed: int, faults: bool = True) -> CaseResult:
         return CaseResult(seed, faults, "mismatch", detail, line,
                           offloaded, counters)
     return CaseResult(seed, faults, "match", "", line, offloaded, counters)
+
+
+def _install_companion(system: System, schedule: Dict[str, Any]):
+    """Materialize the companion app's input once; return a fiber factory."""
+    if schedule["companion"] == "string_search":
+        path = "/interleave/web.log"
+        install_weblog(system, path, schedule["log_bytes"],
+                       schedule["keyword"], seed=schedule["seed"])
+        return lambda: biscuit_string_search(
+            system, path, schedule["keyword"], num_searchers=2)
+    graph = build_exact_graph(system, "/interleave/graph.bin",
+                              schedule["nodes"], seed=schedule["seed"])
+    return lambda: biscuit_pointer_chase(
+        system, graph, schedule["walks"], schedule["hops"])
+
+
+def _execute_interleaved(system: System, engine: Engine, schema: TableSchema,
+                         query: Dict[str, Any], companion_factory,
+                         schedule: Dict[str, Any]):
+    """Run the query fiber concurrently with the companion application."""
+    engine.begin_query()
+    sim = system.sim
+
+    def staggered(fiber, delay_us: float):
+        if delay_us:
+            yield sim.timeout(int(delay_us * 1000))
+        value = yield from fiber
+        return value
+
+    stagger_us = schedule["stagger_us"]
+    query_delay_us = 0.0 if schedule["query_first"] else stagger_us
+    companion_delay_us = stagger_us if schedule["query_first"] else 0.0
+    try:
+        query_proc = sim.process(
+            staggered(_query_fiber(engine, schema, query), query_delay_us),
+            name="interleaved-query")
+        companion_proc = sim.process(
+            staggered(companion_factory(), companion_delay_us),
+            name="interleaved-companion")
+        sim.run(all_of(sim, [query_proc, companion_proc]))
+        return query_proc.value, None
+    except DeviceError as exc:
+        return None, exc
+
+
+def run_case_interleaved(seed: int) -> CaseResult:
+    """One fault-free case, with a companion SSDlet app sharing the device.
+
+    The seed derives the *same* geometry/table/query as ``run_case(seed)``
+    (the schedule is drawn after the common prefix), so a ``match`` outcome
+    here proves the interleaved run returns exactly what the solo run does:
+    both equal the simulator-free reference.  ``detail`` names the companion
+    so sweeps can assert both kinds were exercised.
+    """
+    rng = random.Random(seed)
+    ssd_config = strategies.gen_ssd_config(rng)
+    schema, rows = strategies.gen_table(rng)
+    query = strategies.gen_query(rng, schema, rows)
+    strategies.gen_fault_plan(rng)  # drawn unused: keeps the prefix aligned
+    schedule = strategies.gen_schedule(rng)
+    line = strategies.repro_line(seed, False)
+
+    system = System(ssd_config=ssd_config)
+    db = Database(system.fs)
+    db.load_table(schema, rows)
+    host_engine = _make_engine(system, db, ExecutionMode.CONV)
+    ndp_engine = _make_engine(system, db, ExecutionMode.BISCUIT)
+    companion_factory = _install_companion(system, schedule)
+
+    expected = reference_rows(schema, rows, query)
+    host_rows, host_error = _execute_interleaved(
+        system, host_engine, schema, query, companion_factory, schedule)
+    ndp_rows, ndp_error = _execute_interleaved(
+        system, ndp_engine, schema, query, companion_factory, schedule)
+    offloaded = ndp_engine.ndp_scans > 0
+
+    if host_error is not None or ndp_error is not None:
+        failed = []
+        if host_error is not None:
+            failed.append("host: %s" % host_error)
+        if ndp_error is not None:
+            failed.append("ndp: %s" % ndp_error)
+        return CaseResult(seed, False, "device-error", "; ".join(failed),
+                          line, offloaded)
+    if not rows_match(ndp_rows, host_rows):
+        detail = ("interleaved ndp/host disagree: %d vs %d rows | %s"
+                  % (len(ndp_rows), len(host_rows), line))
+        return CaseResult(seed, False, "mismatch", detail, line, offloaded)
+    if not rows_match(host_rows, expected):
+        detail = ("interleaved host/reference disagree: %d vs %d rows | %s"
+                  % (len(host_rows), len(expected), line))
+        return CaseResult(seed, False, "mismatch", detail, line, offloaded)
+    return CaseResult(seed, False, "match",
+                      "interleaved with %s" % schedule["companion"],
+                      line, offloaded)
 
 
 def replay(line: str) -> CaseResult:

@@ -25,7 +25,7 @@ from repro.db.expr import (
     mul,
     and_,
 )
-from repro.sim.units import KIB
+from repro.sim.units import KIB, MIB
 from repro.ssd.config import SSDConfig
 from repro.testing.faults import FaultPlan
 
@@ -35,12 +35,13 @@ __all__ = [
     "gen_table",
     "gen_query",
     "gen_fault_plan",
+    "gen_schedule",
     "repro_line",
     "parse_repro",
 ]
 
 #: Bump when a generator change invalidates old REPRO lines.
-GENERATOR_VERSION = "v2"  # v2: device-DRAM read cache drawn into the geometry
+GENERATOR_VERSION = "v3"  # v3: serving budgets drawn + two-app schedules
 
 #: String-column vocabulary: ≥4-char words so LIKE prefixes stay HW-usable.
 WORDS = ("alpha", "bravo", "carbon", "delta", "ember",
@@ -72,6 +73,10 @@ def gen_ssd_config(rng: random.Random) -> SSDConfig:
         read_cache_bytes=physical * rng.choice([0, 0, 4, 64]),
         read_cache_policy=rng.choice(["lru", "2q"]),
         read_coalesce_limit=rng.choice([1, 4, 8]),
+        # Serving-layer admission budgets (repro.serve): tight to roomy, so
+        # sweeps cover both queue-bound and slot-bound admission regimes.
+        serve_app_slots=rng.choice([2, 4, 8]),
+        serve_dram_budget_bytes=rng.choice([64, 128, 256]) * MIB,
     )
 
 
@@ -218,6 +223,33 @@ def gen_fault_plan(rng: random.Random) -> FaultPlan:
         spike_rate=0.02,
         stall_rate=0.01,
     )
+
+
+# -------------------------------------------------------- two-app schedules
+def gen_schedule(rng: random.Random) -> Dict[str, Any]:
+    """A concurrent two-app schedule for the interleaving sweep.
+
+    Draws which companion SSDlet application shares the device with the
+    query engine, its working-set size, and how the two launches interleave
+    (who starts first, and by how much).  The differential harness runs the
+    same seeded query solo and under this schedule; the row sets must be
+    identical — concurrency may move time around, never bytes.
+    """
+    companion = rng.choice(["string_search", "pointer_chase"])
+    schedule: Dict[str, Any] = {
+        "companion": companion,
+        "stagger_us": rng.choice([0.0, 50.0, 250.0, 1000.0]),
+        "query_first": rng.random() < 0.5,
+        "seed": rng.randrange(1 << 30),
+    }
+    if companion == "string_search":
+        schedule["keyword"] = rng.choice(WORDS)
+        schedule["log_bytes"] = rng.choice([256, 512]) * KIB
+    else:
+        schedule["nodes"] = rng.choice([128, 256])
+        schedule["walks"] = rng.choice([2, 4])
+        schedule["hops"] = rng.randint(4, 12)
+    return schedule
 
 
 # -------------------------------------------------------------- REPRO format

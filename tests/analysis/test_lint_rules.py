@@ -1,4 +1,4 @@
-"""Lint suite (RPR001-RPR006): per-rule fixtures, noqa waivers, scoping."""
+"""Lint suite (RPR001-RPR006, RPR201): per-rule fixtures, noqa waivers, scoping."""
 
 import textwrap
 
@@ -254,6 +254,76 @@ def test_discarded_combinator_detected(tmp_path):
             yield
     """)
     assert rules_of(findings) == ["RPR006"]
+
+
+# ------------------------------------------------- RPR201 (non-yielding run)
+def test_non_yielding_ssdlet_run_detected(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.core import SSDLet
+
+        class Greedy(SSDLet):
+            def run(self):
+                total = 0
+                for value in self._args:
+                    total += value
+                return total
+    """)
+    assert rules_of(findings) == ["RPR201"]
+    assert "monopolize" in findings[0].message
+    assert findings[0].line == 4
+
+
+def test_yielding_ssdlet_run_clean(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.core import SSDLet
+
+        class Fair(SSDLet):
+            def run(self):
+                value = yield from self.in_(0).get()
+                yield from self.out(0).put(value)
+    """)
+    assert findings == []
+
+
+def test_ssdlet_subclass_suffix_base_detected(tmp_path):
+    findings = lint_source(tmp_path, """\
+        class Spinner(streaming.SSDLet):
+            def run(self):
+                self.count = 1
+    """)
+    assert rules_of(findings) == ["RPR201"]
+
+
+def test_abstract_run_stub_not_flagged(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.core import SSDLet
+
+        class Base(SSDLet):
+            def run(self):
+                '''Subclasses override as a fiber.'''
+                raise NotImplementedError
+    """)
+    assert findings == []
+
+
+def test_non_ssdlet_run_method_ignored(tmp_path):
+    findings = lint_source(tmp_path, """\
+        class Worker:
+            def run(self):
+                return 42
+    """)
+    assert findings == []
+
+
+def test_non_yielding_run_waived_with_noqa(tmp_path):
+    findings = lint_source(tmp_path, """\
+        from repro.core import SSDLet
+
+        class Greedy(SSDLet):
+            def run(self):  # repro: noqa RPR201 -- unit-test double, never scheduled
+                return 0
+    """)
+    assert findings == []
 
 
 # ----------------------------------------------------------- RPR000 and noqa

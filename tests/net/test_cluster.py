@@ -117,3 +117,61 @@ def test_pull_is_link_bound():
     _, elapsed = run_strategy(slow, "pull", "KEY")
     rate = 64 * MIB / elapsed
     assert rate <= 2 * 0.5e9 * 1.05
+
+
+# --------------------------------------------------------------- placement
+def test_round_robin_cycles_indices():
+    from repro.net.cluster import RoundRobinPlacement
+
+    policy = RoundRobinPlacement()
+    candidates = [(0, (0, 0)), (1, (0, 0)), (2, (0, 0))]
+    picks = [policy.pick(candidates) for _ in range(6)]
+    assert picks == [0, 1, 2, 0, 1, 2]
+
+
+def test_round_robin_skips_ineligible():
+    from repro.net.cluster import RoundRobinPlacement
+
+    policy = RoundRobinPlacement()
+    assert policy.pick([(0, (0, 0)), (1, (0, 0))]) == 0
+    # Device 1 became ineligible (full): the cycle skips to 2, then wraps.
+    assert policy.pick([(0, (1, 0)), (2, (0, 0))]) == 2
+    assert policy.pick([(0, (1, 0)), (1, (0, 0))]) == 0
+
+
+def test_least_loaded_picks_minimum_then_index():
+    from repro.net.cluster import LeastLoadedPlacement
+
+    policy = LeastLoadedPlacement()
+    assert policy.pick([(0, (2, 5)), (1, (1, 9)), (2, (2, 0))]) == 1
+    # Ties on load break on the smaller device index, deterministically.
+    assert policy.pick([(2, (1, 3)), (0, (1, 3))]) == 0
+
+
+def test_placement_rejects_empty_candidates():
+    from repro.net.cluster import make_placement
+
+    for name in ("round_robin", "least_loaded"):
+        with pytest.raises(ValueError):
+            make_placement(name).pick([])
+    with pytest.raises(ValueError):
+        make_placement("hash_ring")
+
+
+def test_serving_jobs_spread_across_devices():
+    """Multi-device serving: jobs land on distinct devices and each
+    device's metrics live under its own dotted name."""
+    from repro.serve.mixes import run_mix
+
+    result = run_mix("multi_device", placement="round_robin")
+    registry = result.system.metrics
+    per_device = [
+        registry.counter("serve.device%d.dispatched" % index).value
+        for index in range(result.system.num_ssds)
+    ]
+    assert len(per_device) == 2
+    assert all(count > 0 for count in per_device)
+    # Distinct metric names really are distinct objects (no aliasing).
+    assert registry.counter("serve.device0.dispatched") is not \
+        registry.counter("serve.device1.dispatched")
+    assert sum(per_device) <= result.manager.jobs_submitted

@@ -12,6 +12,7 @@ from repro.testing.differential import (
     replay,
     rows_match,
     run_case,
+    run_case_interleaved,
     run_sweep,
     summarize,
 )
@@ -47,10 +48,10 @@ def test_small_sweep_with_faults_never_mismatches():
 
 
 def test_device_error_outcome_is_typed_with_context():
-    # Seed 2097 draws the harsh profile and loses a page to retry exhaustion
-    # (stable: the whole case derives from the seed; re-picked for the v2
+    # Seed 2063 draws the harsh profile and loses a page to retry exhaustion
+    # (stable: the whole case derives from the seed; re-picked for the v3
     # generator stream).
-    result = run_case(2097, faults=True)
+    result = run_case(2063, faults=True)
     assert result.outcome == "device-error"
     assert "channel=" in result.detail
     assert result.fault_counters["ecc_injected"] > 0
@@ -68,6 +69,22 @@ def test_repro_line_replays_identically():
 def test_every_result_carries_a_repro_line():
     for result in run_sweep(range(3), faults=False):
         assert result.repro.startswith("REPRO: seed=")
+
+
+# ------------------------------------------------------ concurrent schedules
+def test_interleaving_does_not_change_results():
+    """NDP vs host vs reference, with a second app sharing the device.
+
+    Each seeded case re-runs the differential query while a companion
+    SSDlet application (drawn by gen_schedule) runs concurrently on the
+    same device.  Concurrency may reorder device work arbitrarily; the row
+    sets must not change.
+    """
+    results = [run_case_interleaved(seed) for seed in range(40, 52)]
+    assert [r.outcome for r in results] == ["match"] * len(results)
+    companions = {r.detail.split()[-1] for r in results}
+    assert companions == {"string_search", "pointer_chase"}
+    assert any(r.offloaded for r in results)
 
 
 # ------------------------------------------------------------- planted bug
@@ -94,7 +111,7 @@ def test_planted_matcher_bug_is_caught(monkeypatch):
         return wrapped
 
     monkeypatch.setattr(repro.db.ndp, "compile_expr", buggy_compile)
-    # Seed window re-picked for the v2 generator stream: these cases keep the
+    # Seed window re-picked for the v3 generator stream: these cases keep the
     # wrapper on the *predicate* path (a min/max value expression corrupted to
     # bool would crash instead of mismatching).
     results = run_sweep(range(15, 30), faults=False)

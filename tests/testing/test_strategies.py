@@ -9,6 +9,7 @@ from repro.testing.strategies import (
     GENERATOR_VERSION,
     gen_fault_plan,
     gen_query,
+    gen_schedule,
     gen_ssd_config,
     gen_table,
     parse_repro,
@@ -21,6 +22,16 @@ def test_gen_ssd_config_is_valid_and_deterministic():
     config_b = gen_ssd_config(random.Random(7))
     assert config_a == config_b
     config_a.validate()
+
+
+def test_gen_ssd_config_draws_serve_budgets():
+    slots = set()
+    budgets = set()
+    for seed in range(30):
+        config = gen_ssd_config(random.Random(seed))
+        slots.add(config.serve_app_slots)
+        budgets.add(config.serve_dram_budget_bytes)
+    assert len(slots) > 1 and len(budgets) > 1
 
 
 def test_gen_table_is_deterministic():
@@ -62,6 +73,20 @@ def test_gen_fault_plan_is_valid():
     for seed in range(40):
         plan = gen_fault_plan(random.Random(seed))
         plan.validate()  # raises on a bad plan
+
+
+def test_gen_schedule_is_deterministic():
+    schedule_a = gen_schedule(random.Random(9))
+    schedule_b = gen_schedule(random.Random(9))
+    assert schedule_a == schedule_b
+    assert schedule_a["companion"] in ("string_search", "pointer_chase")
+    assert schedule_a["stagger_us"] >= 0.0
+
+
+def test_gen_schedule_covers_both_companions():
+    companions = {gen_schedule(random.Random(seed))["companion"]
+                  for seed in range(20)}
+    assert companions == {"string_search", "pointer_chase"}
 
 
 def test_repro_line_roundtrip():
