@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench serve lint typecheck trace
+.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -26,6 +26,11 @@ test-faults:
 bench:
 	PYTHONPATH=src $(PYTHON) -m repro.bench
 	$(PYTEST) -q benchmarks/test_ablation_read_cache.py
+
+# The standing recovery benchmark: SQL goodput under a seeded fault storm.
+# Emits BENCH_resilience.json (byte-deterministic across hash seeds).
+resilience:
+	PYTHONPATH=src $(PYTHON) -m repro.bench resilience
 
 # Run a serving-layer traffic mix deterministically (override MIX/POLICY,
 # e.g. `make serve MIX=saturation POLICY=wfq`).

@@ -16,6 +16,7 @@ import time
 
 from repro.bench import experiments
 from repro.bench.harness import save_result
+from repro.bench.resilience import exp_resilience
 
 EXPERIMENTS = {
     "table2": ("Table II — I/O port latencies", experiments.exp_table2_port_latency, False),
@@ -28,6 +29,7 @@ EXPERIMENTS = {
     "table6": ("Table VI — energy", experiments.exp_table6_energy, True),
     "fig10": ("Fig. 10 — full TPC-H", experiments.exp_fig10_tpch, True),
     "serve": ("Serving — saturation sweep + fairness", experiments.exp_serve_saturation, False),
+    "resilience": ("Resilience — SQL under a seeded fault storm", exp_resilience, False),
 }
 
 

@@ -22,6 +22,7 @@ __all__ = [
     "DeviceError",
     "EccError",
     "UncorrectableReadError",
+    "DeviceCrashedError",
     "OutOfSpaceError",
 ]
 
@@ -118,6 +119,16 @@ class UncorrectableReadError(DeviceError):
     Terminal for the request: propagates through the controller, the
     filesystem and — for offloaded work — the SSDlet/port machinery back to
     the waiting host fiber.
+    """
+
+
+class DeviceCrashedError(UncorrectableReadError):
+    """The whole device went dark mid-request (firmware panic, power event).
+
+    A subclass of :class:`UncorrectableReadError` so every existing terminal
+    handler applies, but distinguishable: retrying the *same* device is
+    pointless until it recovers — the resilience layer fails over to a
+    replica instead of burning its retry budget.
     """
 
 

@@ -46,6 +46,13 @@ class ScanFilter(SSDLet):
       predicate(row) -> bool               (the full WHERE clause)
       out_idx: projected column positions
       first_page, num_pages, page_size, batch_rows
+
+    With the optional ``checkpoint_pages`` key set (the resilient datapath,
+    :mod:`repro.resilience`), chunks shrink to that many pages and every
+    payload becomes a tagged tuple ``("rows", batch, end_page_or_None)``:
+    a non-None ``end_page`` is a checkpoint marker promising that every
+    surviving row for pages < ``end_page`` has been emitted.  Without the
+    key, payloads are plain pickled row batches (bit-identical to before).
     """
 
     OUT_TYPES = (Packet,)
@@ -66,11 +73,14 @@ class ScanFilter(SSDLet):
         first = job["first_page"]
         last = first + job["num_pages"]
         software_scan = job.get("software_scan", False)
+        checkpoint_pages = job.get("checkpoint_pages")
+        chunk_pages = (min(CHUNK_PAGES, max(1, checkpoint_pages))
+                       if checkpoint_pages else CHUNK_PAGES)
         scan_rate = self._runtime.config.device_scan_bytes_per_sec_per_core
         batch: List[tuple] = []
         pos = first
         while pos < last:
-            take = min(CHUNK_PAGES, last - pos)
+            take = min(chunk_pages, last - pos)
             length = min(take * page_size, handle.size - pos * page_size)
             # Stream the chunk through the matcher IP (wire speed; the
             # per-stripe IP-control cost is charged by the controller).
@@ -94,7 +104,10 @@ class ScanFilter(SSDLet):
                         batch.append(tuple(row[i] for i in out_idx))
                         emitted += 1
                         if len(batch) >= batch_rows:
-                            yield from self._emit(batch)
+                            # Mid-chunk overflow flush: carries no marker —
+                            # the host must stage these rows until the
+                            # chunk-boundary marker commits them.
+                            yield from self._emit(batch, checkpoint_pages)
                             batch = []
             if software_scan:
                 # No matcher IP: the device cores scan every byte themselves
@@ -109,11 +122,18 @@ class ScanFilter(SSDLet):
                     + emitted * self.ROW_EMIT_US
                 )
             pos += take
+            if checkpoint_pages:
+                # Chunk boundary: flush (even an empty batch) with the
+                # marker — all rows for pages < pos are now emitted.
+                yield from self._emit(batch, checkpoint_pages, end_page=pos)
+                batch = []
         if batch:
-            yield from self._emit(batch)
+            yield from self._emit(batch, checkpoint_pages)
 
-    def _emit(self, batch: List[tuple]) -> Generator:
-        yield from self.out(0).put(Packet(pickle.dumps(batch, protocol=4)))
+    def _emit(self, batch: List[tuple], tagged: bool = False,
+              end_page: Optional[int] = None) -> Generator:
+        payload = ("rows", batch, end_page) if tagged else batch
+        yield from self.out(0).put(Packet(pickle.dumps(payload, protocol=4)))
 
 
 NDP_MODULE.register("idScanFilter", ScanFilter)

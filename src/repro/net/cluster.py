@@ -11,9 +11,11 @@ from __future__ import annotations
 
 from typing import Any, Callable, Generator, List, Optional
 
+from repro.core.errors import DeviceError
 from repro.host.cpu import HostCPU
 from repro.host.platform import System
-from repro.sim.engine import Simulator, all_of
+from repro.resilience.hedge import HedgePolicy
+from repro.sim.engine import Simulator, all_of, any_of
 from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns, us_to_ns
 from repro.ssd.config import SSDConfig
@@ -22,6 +24,7 @@ __all__ = [
     "LeastLoadedPlacement",
     "NetworkLink",
     "PlacementPolicy",
+    "ReplicaMap",
     "RoundRobinPlacement",
     "ScaleOutCluster",
     "StorageNode",
@@ -90,6 +93,46 @@ def make_placement(policy: str) -> PlacementPolicy:
     raise ValueError(
         "unknown placement policy %r (one of round_robin, least_loaded)"
         % (policy,))
+
+
+class ReplicaMap:
+    """Shard → node placement with rotation replication.
+
+    Shard ``s``'s primary is node ``s % n``; its replicas are the next
+    ``replication - 1`` nodes around the ring.  Rotation (rather than
+    mirrored pairs) spreads a dead node's read load across *every* surviving
+    node — the standard reason Cassandra/HDFS-style placements rotate.
+    """
+
+    def __init__(self, num_shards: int, num_nodes: int, replication: int = 2):
+        if num_shards < 1:
+            raise ValueError("need at least one shard")
+        if num_nodes < 1:
+            raise ValueError("need at least one node")
+        if not 1 <= replication <= num_nodes:
+            raise ValueError("replication must be in [1, num_nodes]")
+        self.num_shards = num_shards
+        self.num_nodes = num_nodes
+        self.replication = replication
+
+    def primary(self, shard: int) -> int:
+        return shard % self.num_nodes
+
+    def replicas(self, shard: int) -> List[int]:
+        """Backup nodes, in hedge/failover preference order."""
+        return [(shard + offset) % self.num_nodes
+                for offset in range(1, self.replication)]
+
+    def nodes_for(self, shard: int) -> List[int]:
+        """Primary first, then replicas."""
+        return [self.primary(shard)] + self.replicas(shard)
+
+    def primaries_on(self, node: int) -> List[int]:
+        return [s for s in range(self.num_shards) if self.primary(s) == node]
+
+    def shards_on(self, node: int) -> List[int]:
+        """Every shard (primary or replica) this node holds a copy of."""
+        return [s for s in range(self.num_shards) if node in self.nodes_for(s)]
 
 
 class NetworkLink:
@@ -225,3 +268,99 @@ class ScaleOutCluster:
         ]
         values = yield all_of(self.sim, fibers)
         return values
+
+    def _guarded_rpc(self, node: StorageNode, work: Generator,
+                     request_bytes: int, response_bytes: int) -> Generator:
+        """Fiber: one RPC that reports its outcome instead of raising, so
+        hedge legs can race under ``any_of`` without failure propagation."""
+        try:
+            value = yield from node.serve(work, request_bytes, response_bytes)
+            return ("ok", value)
+        except DeviceError as exc:
+            return ("err", exc)
+
+    def hedged_call(
+        self,
+        shard: int,
+        replica_map: ReplicaMap,
+        make_work: Callable[[StorageNode], Generator],
+        policy: HedgePolicy,
+        request_bytes: int = 256,
+        response_bytes: int = 256,
+    ) -> Generator:
+        """Fiber: replica-aware read with a p99-deadline hedge.
+
+        The RPC goes to the shard's primary; once the policy's deadline
+        passes, a second leg fires against the first replica.  The first
+        *successful* response wins and the losing leg is interrupted
+        mid-flight.  A primary that fails outright (device error) fails
+        over to the replica immediately — no deadline wait.  Raises the
+        replica's error only when every copy failed.
+        """
+        start_ns = self.sim.now
+        nodes = replica_map.nodes_for(shard)
+        primary = self.nodes[nodes[0]]
+        primary_leg = self.sim.process(
+            self._guarded_rpc(primary, make_work(primary),
+                              request_bytes, response_bytes),
+            name="hedge-primary-%s" % primary.name)
+        primary_leg.defused = True
+        if len(nodes) < 2:
+            yield primary_leg
+            status, value = primary_leg.value
+            if status != "ok":
+                raise value
+            policy.observe((self.sim.now - start_ns) / 1000.0)
+            policy.primary_wins += 1
+            return value
+        deadline = self.sim.timeout(us_to_ns(policy.deadline_us()))
+        yield any_of(self.sim, [primary_leg, deadline])
+        if primary_leg.triggered:
+            status, value = primary_leg.value
+            if status == "ok":
+                policy.observe((self.sim.now - start_ns) / 1000.0)
+                policy.primary_wins += 1
+                return value
+            # Primary failed before the deadline: straight failover.
+            policy.failovers += 1
+        else:
+            policy.hedges_fired += 1
+        backup = self.nodes[nodes[1]]
+        backup_leg = self.sim.process(
+            self._guarded_rpc(backup, make_work(backup),
+                              request_bytes, response_bytes),
+            name="hedge-backup-%s" % backup.name)
+        backup_leg.defused = True
+        racing = [leg for leg in (primary_leg, backup_leg) if not leg.triggered]
+        yield any_of(self.sim, racing)
+        for leg, mine in ((primary_leg, True), (backup_leg, False)):
+            if not leg.triggered:
+                continue
+            status, value = leg.value
+            if status != "ok":
+                continue
+            other = backup_leg if mine else primary_leg
+            if other.is_alive:
+                other.interrupt("hedge loser")
+            if mine:
+                policy.observe((self.sim.now - start_ns) / 1000.0)
+                policy.primary_wins += 1
+            else:
+                policy.hedge_wins += 1
+            return value
+        # Whichever legs finished have all failed; wait out the rest.
+        for leg, mine in ((primary_leg, True), (backup_leg, False)):
+            if leg.triggered:
+                continue
+            yield leg
+            status, value = leg.value
+            if status == "ok":
+                if not mine:
+                    policy.hedge_wins += 1
+                    policy.failovers += 1
+                else:
+                    policy.observe((self.sim.now - start_ns) / 1000.0)
+                    policy.primary_wins += 1
+                return value
+        # Every copy failed: surface the backup's error (the last to die).
+        raise backup_leg.value[1]

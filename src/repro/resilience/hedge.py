@@ -1,0 +1,77 @@
+"""Hedge policy: when to fire the backup request against a replica.
+
+The hedge deadline is derived from observed primary latencies: once enough
+samples exist, the deadline is the p99 (exact order statistic over a
+bounded sliding window — deterministic, no interpolation) times a safety
+multiplier, floored so a burst of fast requests cannot drive the deadline
+to zero.  Before warmup, a configured default applies.
+
+The policy also carries the hedging scoreboard (fired / wins / losses /
+failovers) so benches and tests read one object.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["HedgePolicy"]
+
+
+class HedgePolicy:
+    """p99-derived hedge deadline plus win/loss bookkeeping."""
+
+    def __init__(
+        self,
+        quantile: float = 0.99,
+        multiplier: float = 1.0,
+        floor_us: float = 200.0,
+        default_us: float = 5000.0,
+        warmup: int = 8,
+        window: int = 256,
+    ):
+        if not 0.0 < quantile <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if multiplier <= 0:
+            raise ValueError("multiplier must be positive")
+        if warmup < 1:
+            raise ValueError("warmup must be at least 1")
+        self.quantile = quantile
+        self.multiplier = multiplier
+        self.floor_us = floor_us
+        self.default_us = default_us
+        self.warmup = warmup
+        self.window = window
+        self._samples: List[float] = []
+        # Scoreboard.
+        self.hedges_fired = 0
+        self.hedge_wins = 0
+        self.primary_wins = 0
+        self.failovers = 0
+
+    def observe(self, latency_us: float) -> None:
+        """Record one completed primary-side latency."""
+        self._samples.append(latency_us)
+        if len(self._samples) > self.window:
+            del self._samples[0]
+
+    @property
+    def samples(self) -> int:
+        return len(self._samples)
+
+    def deadline_us(self) -> float:
+        """Wait this long before firing the hedge leg."""
+        if len(self._samples) < self.warmup:
+            return max(self.floor_us, self.default_us)
+        ordered = sorted(self._samples)
+        # Exact order statistic: smallest sample with rank >= q * n.
+        rank = max(0, min(len(ordered) - 1,
+                          int(self.quantile * len(ordered) + 0.999999) - 1))
+        return max(self.floor_us, ordered[rank] * self.multiplier)
+
+    def counters(self) -> dict:
+        return {
+            "hedges_fired": self.hedges_fired,
+            "hedge_wins": self.hedge_wins,
+            "primary_wins": self.primary_wins,
+            "failovers": self.failovers,
+        }

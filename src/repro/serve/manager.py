@@ -25,10 +25,12 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Generator, List, Optional, Tuple
 
+from repro.core.errors import DeviceError
 from repro.core.module import write_module_image
 from repro.core.ssd_api import SSD
 from repro.net.cluster import make_placement
-from repro.serve.admission import AdmissionDecision, SlotTable
+from repro.resilience.recovery import RecoveryTracker
+from repro.serve.admission import AdmissionDecision, ResilienceConfig, SlotTable
 from repro.serve.jobs import JOB_KINDS, Job, JobSpec, JobState
 from repro.serve.scheduler import make_scheduler
 from repro.serve.slo import SLOTracker
@@ -89,7 +91,18 @@ class DeviceServer:
             fs = self.system.filesystems[self.index]
             if not fs.exists(kind.image_path):
                 write_module_image(fs, kind.image_path, kind.module)
-            mid = yield from self.ssd.loadModule(kind.image_path)
+            try:
+                mid = yield from self.ssd.loadModule(kind.image_path)
+            except BaseException as exc:
+                # The load itself reads the device, so it can die under
+                # fault injection.  Drop the entry (a later arrival reloads
+                # cleanly) and propagate the failure to every sharer parked
+                # on the loading event — otherwise they wait forever.
+                if self._modules.get(kind_name) is entry:
+                    del self._modules[kind_name]
+                entry["loading"].defused = True  # sharers may be absent
+                entry["loading"].fail(exc)
+                raise
             entry["mid"] = mid
             entry["loading"].succeed(mid)
             return mid
@@ -119,9 +132,13 @@ class JobManager:
     """Accepts typed NDP jobs from many tenants and serves them."""
 
     def __init__(self, system, tenants: List[Tenant],
-                 scheduler: str = "fifo", placement: str = "round_robin"):
+                 scheduler: str = "fifo", placement: str = "round_robin",
+                 resilience: Optional[ResilienceConfig] = None):
         self.system = system
         self.sim = system.sim
+        self.resilience = resilience
+        self.recovery = (RecoveryTracker(self.sim, resilience.recovery_window_us)
+                         if resilience is not None else None)
         self.tenants: Dict[str, Tenant] = {}
         for tenant in tenants:
             if tenant.name in self.tenants:
@@ -159,6 +176,11 @@ class JobManager:
             return self._reject(job, "unknown_kind"), job
         if self._queued_per_tenant[spec.tenant] >= tenant.queue_limit:
             return self._reject(job, "queue_full"), job
+        if self.resilience is not None and self.resilience.should_shed(
+                spec, len(self.recovery.recovering_devices()),
+                len(self.servers)):
+            self.tracker.shed(job)
+            return self._reject(job, "shed_recovery"), job
         if spec.priority == 0:
             spec.priority = tenant.priority
         self.tracker.submitted(job)
@@ -183,8 +205,16 @@ class JobManager:
 
     # -------------------------------------------------------------- dispatch
     def _eligible_servers(self, job: Job) -> List[Tuple[int, Tuple[int, int]]]:
-        return [(server.index, server.load) for server in self.servers
-                if server.slots.can_admit(job)]
+        candidates = [(server.index, server.load) for server in self.servers
+                      if server.slots.can_admit(job)]
+        if self.recovery is not None and candidates:
+            # Steer placement away from devices inside a recovery window —
+            # unless they are the only capacity left.
+            recovering = set(self.recovery.recovering_devices())
+            healthy = [c for c in candidates if c[0] not in recovering]
+            if healthy:
+                return healthy
+        return candidates
 
     def _try_dispatch(self) -> None:
         # submit/finish edges can re-enter while we are already draining the
@@ -247,20 +277,65 @@ class JobManager:
             self.tracker.rejected(job, reason or "")
         job.done.succeed(job)
 
+    def _failover_target(self, job: Job, failed: DeviceServer) -> DeviceServer:
+        """The best other server that can take the retried job right now.
+
+        Prefers servers outside a recovery window, then the least loaded;
+        falls back to the failed server itself when nothing else has
+        capacity (its slot is already ours).
+        """
+        recovering = set(self.recovery.recovering_devices())
+        best = None
+        best_key = None
+        for server in self.servers:
+            if server is failed or not server.slots.can_admit(job):
+                continue
+            key = (server.index in recovering, server.load, server.index)
+            if best_key is None or key < best_key:
+                best, best_key = server, key
+        return best if best is not None else failed
+
     def _run_job(self, job: Job, server: DeviceServer) -> Generator:
+        attempts = 0
         try:
-            mid = yield from server.acquire_module(job.spec.kind)
-            try:
-                kind = JOB_KINDS[job.spec.kind]
-                job.result = yield from kind.run(server, mid, job)
-                job.state = JobState.DONE
-            finally:
-                yield from server.release_module(job.spec.kind)
-        except Exception as exc:
-            # Typed device errors (ECC exhaustion, safety violations...)
-            # fail the one job, never the serving loop.
-            job.state = JobState.FAILED
-            job.error = exc
+            while True:
+                attempts += 1
+                try:
+                    mid = yield from server.acquire_module(job.spec.kind)
+                    try:
+                        kind = JOB_KINDS[job.spec.kind]
+                        job.result = yield from kind.run(server, mid, job)
+                        job.state = JobState.DONE
+                    finally:
+                        yield from server.release_module(job.spec.kind)
+                    break
+                except Exception as exc:
+                    # Typed device errors (ECC exhaustion, safety
+                    # violations...) fail the one job, never the serving
+                    # loop — and, with resilience on, device errors get the
+                    # configured retry/failover budget first.
+                    retryable = (
+                        self.resilience is not None
+                        and isinstance(exc, DeviceError)
+                        and attempts < self.resilience.max_attempts
+                    )
+                    if not retryable:
+                        job.state = JobState.FAILED
+                        job.error = exc
+                        break
+                    self.recovery.note_fault(server.index)
+                    self.tracker.device_fault(server.index)
+                    self.tracker.retried(job)
+                    target = self._failover_target(job, server)
+                    if target is not server:
+                        server.slots.release(job)
+                        target.slots.admit(job)
+                        server = target
+                        job.device_index = target.index
+                        self.tracker.failover(job, target.index)
+                    backoff_us = (self.resilience.retry_backoff_us
+                                  * (2 ** (attempts - 1)))
+                    yield self.sim.timeout(us_to_ns(backoff_us))
         finally:
             job.finish_ns = self.sim.now
             self.tracker.finished(job)

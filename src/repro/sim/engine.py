@@ -196,10 +196,18 @@ class Process(Event):
         if target is None:
             self._pending_interrupt = Interrupt(cause)
             return
-        if not target.triggered:
-            # Request events (Resource/Store) are single-waiter: flag the
-            # abandonment so pending grants are not burned on this fiber.
-            target.abandoned = True
+        # Request events (Resource/Store) are single-waiter: flag the
+        # abandonment so pending grants are not burned on this fiber.  The
+        # flag is set even when the target already *triggered* but has not
+        # processed yet — a grant made in this very timestep would otherwise
+        # be handed to a fiber that is no longer listening (the units would
+        # leak); Resource/Store reclaim such grants at processing time.
+        target.abandoned = True
+        # An abandoned target that later *fails* has nobody left to receive
+        # the exception; without defusing, the kernel would treat that as an
+        # unhandled failure and crash the simulation.  Hedged reads interrupt
+        # the losing leg mid-I/O routinely, so this is a normal outcome.
+        target.defused = True
         if target._callbacks is not None:
             # Detach from the old wait: a target that already triggered but
             # has not run its callbacks yet would otherwise resume the fiber

@@ -80,7 +80,17 @@ class Resource:
             self._waiters.popleft()
             self._account()
             self._in_use += units
+            # The waiter can still be interrupted between this grant and the
+            # event processing (same timestep); the reclaim callback checks
+            # the abandoned flag at processing time and returns the units —
+            # without it an interrupted hedged/coalesced read would hold the
+            # grant forever (a doubly-granted leak).
+            event.add_callback(lambda ev, n=units: self._reclaim(ev, n))
             event.succeed()
+
+    def _reclaim(self, event: Event, units: int) -> None:
+        if event.abandoned:
+            self.release(units)
 
     def utilization(self) -> float:
         """Mean fraction of capacity held since t=0."""
@@ -112,9 +122,17 @@ class Store:
         while self._getters:
             getter = self._getters.popleft()
             if not getter.abandoned:  # skip getters interrupted while queued
+                # As with Resource grants, the getter may be interrupted
+                # after this hand-off but before the event processes; the
+                # item is then re-put instead of vanishing with the fiber.
+                getter.add_callback(self._reclaim)
                 getter.succeed(item)
                 return
         self._items.append(item)
+
+    def _reclaim(self, event: Event) -> None:
+        if event.abandoned:
+            self.put(event._value)
 
     def get(self) -> Event:
         event = Event(self.sim)

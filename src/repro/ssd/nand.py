@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.core.errors import EccError, UncorrectableReadError
+from repro.core.errors import DeviceCrashedError, EccError, UncorrectableReadError
 from repro.sim.engine import Simulator
 from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns, us_to_ns
@@ -61,6 +61,11 @@ class Channel:
         fault = None
         if self.injector is not None:
             fault = self.injector.draw_read(self.index, physical_page)
+        if fault is not None and fault.kind == "crash":
+            # The whole device is dark: fail fast without occupying a die —
+            # there is no sense to time when the controller itself is gone.
+            raise DeviceCrashedError("device crashed",
+                                     channel=self.index, page=physical_page)
         trace = self.sim.trace
         start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()

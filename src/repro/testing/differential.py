@@ -34,16 +34,22 @@ from repro.db.executor import Engine, EngineConfig, ExecutionMode
 from repro.db.expr import (
     Arith, Between, Case, Cmp, Col, Const, Func, InList, Like, Logic, Not,
 )
+from repro.db.expr import compile_expr
 from repro.db.ndp import NDPContext, ndp_aggregate_supported
 from repro.db.planner import NDPPlanner
 from repro.db.storage import Database
 from repro.host.platform import System
+from repro.resilience import (
+    HedgePolicy, RecoveryTracker, ResilientScanDriver, RetryPolicy,
+)
+from repro.resilience.executor import ScanSpec
 from repro.sim.engine import all_of
 from repro.testing import strategies
-from repro.testing.faults import FaultInjector
+from repro.testing.faults import FaultInjector, StormInjector
 
 __all__ = [
-    "CaseResult", "run_case", "run_case_interleaved", "run_sweep", "replay",
+    "CaseResult", "run_case", "run_case_interleaved", "run_case_resilient",
+    "run_sweep", "run_resilient_sweep", "replay", "replay_resilient",
     "summarize", "rows_match", "eval_expr", "reference_rows",
     "force_offload_config",
 ]
@@ -376,6 +382,112 @@ def run_case_interleaved(seed: int) -> CaseResult:
     return CaseResult(seed, False, "match",
                       "interleaved with %s" % schedule["companion"],
                       line, offloaded)
+
+
+# ------------------------------------------------------------ resilient arm
+def run_case_resilient(seed: int) -> CaseResult:
+    """One seeded case executed through the resilient scan driver under an
+    active fault storm, judged byte-for-byte against the fault-free
+    plain-Python reference.
+
+    The seed derives the *same* geometry/table/query as ``run_case(seed)``
+    (storms and the replica layout are drawn after the common prefix).  The
+    table is replicated on a second device; the primary gets an
+    error-capable storm (uncorrectable bursts, stalls, possibly a whole-
+    device crash window), the replica only latency faults — so checkpointed
+    retry/failover always has a copy that can answer, and the only
+    acceptable outcome is ``match``.
+    """
+    rng = random.Random(seed)
+    ssd_config = strategies.gen_ssd_config(rng)
+    schema, rows = strategies.gen_table(rng)
+    query = strategies.gen_query(rng, schema, rows)
+    strategies.gen_fault_plan(rng)  # drawn unused: keeps the prefix aligned
+    primary_storm = strategies.gen_fault_storm(rng, errors=True)
+    replica_storm = strategies.gen_fault_storm(rng, errors=False)
+    layout = strategies.gen_replica_layout(rng)
+    line = strategies.repro_line(seed, True)
+
+    system = System(ssd_config=ssd_config, num_ssds=layout["num_devices"])
+    databases = []
+    for fs in system.filesystems:
+        db = Database(fs)
+        db.load_table(schema, rows)
+        databases.append(db)
+    storage = databases[0].table(schema.name)
+    injector = StormInjector(system.sim, primary_storm)
+    system.devices[layout["primary"]].attach_fault_injector(injector)
+    system.devices[1 - layout["primary"]].attach_fault_injector(
+        StormInjector(system.sim, replica_storm))
+
+    driver = ResilientScanDriver(
+        system,
+        policy=RetryPolicy(
+            retry_limit=layout["retry_limit"],
+            backoff_us=layout["backoff_us"],
+            checkpoint_pages=layout["checkpoint_pages"],
+        ),
+        hedge=(HedgePolicy(default_us=layout["hedge_default_us"])
+               if layout["hedge"] else None),
+        recovery=RecoveryTracker(system.sim),
+    )
+
+    positions = {name: i for i, name in enumerate(schema.column_names())}
+    predicate = compile_expr(query["pred"], positions)
+    if query["kind"] == "filter":
+        out_cols = query["cols"] or schema.column_names()
+    else:
+        out_cols = schema.column_names()  # aggregate host-side, post-scan
+    spec = ScanSpec(
+        path=storage.path,
+        page_rows=lambda page_no: databases[0].read_page_rows(storage, page_no),
+        prefilter=predicate,
+        predicate=predicate,
+        out_idx=[positions[c] for c in out_cols],
+        page_size=storage.page_size,
+        num_pages=storage.num_pages,
+        workers=2,
+    )
+    expected = reference_rows(schema, rows, query)
+    counters = dict(injector.counters())
+    counters.update(("driver_%s" % k, v)
+                    for k, v in sorted(driver.counters().items()))
+    try:
+        survivors = system.run_fiber(
+            driver.scan(spec, primary=layout["primary"]),
+            name="resilient-case-%d" % seed)
+    except DeviceError as exc:
+        counters = dict(injector.counters())
+        counters.update(("driver_%s" % k, v)
+                        for k, v in sorted(driver.counters().items()))
+        return CaseResult(seed, True, "device-error",
+                          "resilient scan gave up: %s | %s" % (exc, line),
+                          line, True, counters)
+    counters = dict(injector.counters())
+    counters.update(("driver_%s" % k, v)
+                    for k, v in sorted(driver.counters().items()))
+    if query["kind"] == "filter":
+        got = survivors
+    else:
+        # Surviving full rows already satisfy the predicate; re-running the
+        # reference aggregation over them is the aggregate's answer.
+        got = reference_rows(schema, survivors, query)
+    if not rows_match(got, expected):
+        detail = ("resilient/reference disagree: %d vs %d rows | %s"
+                  % (len(got), len(expected), line))
+        return CaseResult(seed, True, "mismatch", detail, line, True, counters)
+    return CaseResult(seed, True, "match", "", line, True, counters)
+
+
+def run_resilient_sweep(seeds) -> List[CaseResult]:
+    """One resilient case per seed (failures carry their repro line)."""
+    return [run_case_resilient(seed) for seed in seeds]
+
+
+def replay_resilient(line: str) -> CaseResult:
+    """Re-run the exact resilient case a ``REPRO:`` line came from."""
+    seed, _faults = strategies.parse_repro(line)
+    return run_case_resilient(seed)
 
 
 def replay(line: str) -> CaseResult:

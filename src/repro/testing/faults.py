@@ -23,13 +23,23 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import NamedTuple, Optional, Tuple
+from typing import Dict, NamedTuple, Optional, Tuple
 
 from repro.sim.units import us_to_ns
 
-__all__ = ["Fault", "FaultPlan", "FaultInjector", "FAULT_KINDS"]
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "FaultInjector",
+    "FaultStorm",
+    "CrashWindow",
+    "ScriptedInjector",
+    "StormInjector",
+    "StormPhase",
+    "FAULT_KINDS",
+]
 
-FAULT_KINDS = ("uncorrectable", "ecc", "spike", "stall")
+FAULT_KINDS = ("uncorrectable", "ecc", "spike", "stall", "crash")
 
 
 class Fault(NamedTuple):
@@ -126,3 +136,164 @@ class FaultInjector:
             self.stalls_injected += 1
             return Fault("stall", us_to_ns(plan.stall_us))
         return None
+
+
+# ------------------------------------------------------------- fault storms
+@dataclass(frozen=True)
+class StormPhase:
+    """One time-bounded burst of rate-based faults (a seeded FaultPlan)."""
+
+    start_us: float
+    duration_us: float
+    plan: FaultPlan
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    def active(self, now_us: float) -> bool:
+        return self.start_us <= now_us < self.end_us
+
+
+@dataclass(frozen=True)
+class CrashWindow:
+    """An interval during which the whole device is dark.
+
+    Every read attempt inside the window fails with
+    :class:`repro.core.errors.DeviceCrashedError`; the device "reboots" when
+    the window closes (reads succeed again) — which is what gives the
+    resilience layer's backoff-and-failover loop something to converge on.
+    """
+
+    start_us: float
+    duration_us: float
+
+    @property
+    def end_us(self) -> float:
+        return self.start_us + self.duration_us
+
+    def active(self, now_us: float) -> bool:
+        return self.start_us <= now_us < self.end_us
+
+
+@dataclass(frozen=True)
+class FaultStorm:
+    """A per-device fault schedule: rate bursts plus whole-device crashes.
+
+    Unlike a bare :class:`FaultPlan` (a constant per-read rate), a storm is
+    *windowed in simulated time* — bursts arrive, rage and pass, exactly the
+    shape recovery machinery has to ride out.  All windows are finite, so a
+    retry policy whose cumulative backoff outlasts ``end_us`` always meets a
+    quiet device eventually.
+    """
+
+    phases: Tuple[StormPhase, ...] = ()
+    crashes: Tuple[CrashWindow, ...] = ()
+
+    def validate(self) -> None:
+        for phase in self.phases:
+            phase.plan.validate()
+            if phase.duration_us < 0:
+                raise ValueError("storm phase duration cannot be negative")
+        for window in self.crashes:
+            if window.duration_us < 0:
+                raise ValueError("crash window duration cannot be negative")
+
+    @property
+    def end_us(self) -> float:
+        """When the last scheduled disturbance is over."""
+        ends = [phase.end_us for phase in self.phases]
+        ends.extend(window.end_us for window in self.crashes)
+        return max(ends) if ends else 0.0
+
+    @property
+    def any_faults(self) -> bool:
+        return bool(self.crashes) or any(
+            phase.plan.any_faults for phase in self.phases)
+
+
+class StormInjector:
+    """Drives a :class:`FaultStorm` against one device's channels.
+
+    Same ``draw_read(channel_index, physical_page)`` contract as
+    :class:`FaultInjector`, so it attaches through
+    ``SSDDevice.attach_fault_injector`` unchanged.  Which window is active is
+    decided by the simulation clock; each phase draws from its own seeded
+    stream in simulation order, so a given (storm, workload) pair replays
+    bit-for-bit.
+    """
+
+    def __init__(self, sim, storm: FaultStorm):
+        storm.validate()
+        self.sim = sim
+        self.storm = storm
+        self._phase_injectors = [FaultInjector(p.plan) for p in storm.phases]
+        self.reads_seen = 0
+        self.crashes_injected = 0
+
+    @property
+    def faults_injected(self) -> int:
+        return self.crashes_injected + sum(
+            injector.faults_injected for injector in self._phase_injectors)
+
+    def counters(self) -> Dict[str, int]:
+        totals = {
+            "reads_seen": self.reads_seen,
+            "ecc_injected": 0,
+            "uncorrectable_injected": 0,
+            "spikes_injected": 0,
+            "stalls_injected": 0,
+            "crashes_injected": self.crashes_injected,
+        }
+        for injector in self._phase_injectors:
+            for key, value in injector.counters().items():
+                if key != "reads_seen":
+                    totals[key] += value
+        return totals
+
+    def draw_read(self, channel_index: int,
+                  physical_page: Optional[int] = None) -> Optional[Fault]:
+        self.reads_seen += 1
+        now_us = self.sim.now / 1000.0
+        for window in self.storm.crashes:
+            if window.active(now_us):
+                self.crashes_injected += 1
+                return Fault("crash")
+        for phase, injector in zip(self.storm.phases, self._phase_injectors):
+            if phase.active(now_us):
+                return injector.draw_read(channel_index, physical_page)
+        return None
+
+
+class ScriptedInjector:
+    """Explicit read-index → fault script, for deterministic edge-case tests.
+
+    ``script`` maps the global read-attempt ordinal (0-based, in simulation
+    order across all channels) to the :class:`Fault` to inject there.  An
+    optional ``channels`` filter restricts counting *and* injection to those
+    channel indexes, mirroring :class:`FaultPlan.channels`.
+    """
+
+    def __init__(self, script: Dict[int, Fault],
+                 channels: Optional[Tuple[int, ...]] = None):
+        self.script = dict(script)
+        self.channels = channels
+        self.reads_seen = 0
+        self.faults_injected = 0
+
+    def counters(self) -> Dict[str, int]:
+        return {
+            "reads_seen": self.reads_seen,
+            "scripted_injected": self.faults_injected,
+        }
+
+    def draw_read(self, channel_index: int,
+                  physical_page: Optional[int] = None) -> Optional[Fault]:
+        if self.channels is not None and channel_index not in self.channels:
+            return None
+        ordinal = self.reads_seen
+        self.reads_seen += 1
+        fault = self.script.get(ordinal)
+        if fault is not None:
+            self.faults_injected += 1
+        return fault

@@ -27,7 +27,7 @@ from repro.db.expr import (
 )
 from repro.sim.units import KIB, MIB
 from repro.ssd.config import SSDConfig
-from repro.testing.faults import FaultPlan
+from repro.testing.faults import CrashWindow, FaultPlan, FaultStorm, StormPhase
 
 __all__ = [
     "GENERATOR_VERSION",
@@ -35,13 +35,15 @@ __all__ = [
     "gen_table",
     "gen_query",
     "gen_fault_plan",
+    "gen_fault_storm",
+    "gen_replica_layout",
     "gen_schedule",
     "repro_line",
     "parse_repro",
 ]
 
 #: Bump when a generator change invalidates old REPRO lines.
-GENERATOR_VERSION = "v3"  # v3: serving budgets drawn + two-app schedules
+GENERATOR_VERSION = "v4"  # v4: fault storms + replica layouts drawn
 
 #: String-column vocabulary: ≥4-char words so LIKE prefixes stay HW-usable.
 WORDS = ("alpha", "bravo", "carbon", "delta", "ember",
@@ -223,6 +225,73 @@ def gen_fault_plan(rng: random.Random) -> FaultPlan:
         spike_rate=0.02,
         stall_rate=0.01,
     )
+
+
+# --------------------------------------------------------------- fault storms
+def gen_fault_storm(rng: random.Random, errors: bool = True) -> FaultStorm:
+    """A time-windowed fault storm (1–3 phases, optionally a crash window).
+
+    With ``errors=False`` the storm only contains latency faults (spikes,
+    stalls) and no crash windows — the profile a *replica* device gets in
+    the resilient differential sweep, so retry/failover always has a copy
+    that can eventually answer.  Storm windows are finite by construction;
+    a retry budget whose backoff outlasts ``end_us`` converges.
+    """
+    phases = []
+    clock_us = rng.choice([0.0, 0.0, 200.0, 1000.0])
+    for _ in range(rng.randint(1, 3)):
+        duration_us = rng.choice([1000.0, 2500.0, 5000.0, 10000.0])
+        seed = rng.randrange(1 << 30)
+        profile = (rng.choice(["uncorrectable_burst", "ecc_burst",
+                               "stall", "mixed"])
+                   if errors else rng.choice(["quiet", "stall", "spike"]))
+        if profile == "uncorrectable_burst":
+            plan = FaultPlan(seed=seed,
+                             uncorrectable_rate=rng.uniform(0.05, 0.4),
+                             ecc_rate=rng.uniform(0.0, 0.05))
+        elif profile == "ecc_burst":
+            plan = FaultPlan(seed=seed, ecc_rate=rng.uniform(0.1, 0.4))
+        elif profile == "stall":
+            plan = FaultPlan(seed=seed,
+                             stall_rate=rng.uniform(0.02, 0.15),
+                             stall_us=rng.choice([400.0, 800.0, 1600.0]))
+        elif profile == "spike":
+            plan = FaultPlan(seed=seed,
+                             spike_rate=rng.uniform(0.05, 0.2),
+                             spike_us=rng.choice([200.0, 400.0, 800.0]))
+        elif profile == "mixed":
+            plan = FaultPlan(seed=seed,
+                             ecc_rate=rng.uniform(0.02, 0.1),
+                             uncorrectable_rate=rng.uniform(0.01, 0.1),
+                             spike_rate=rng.uniform(0.0, 0.05),
+                             stall_rate=rng.uniform(0.0, 0.03))
+        else:  # quiet
+            plan = FaultPlan(seed=seed)
+        phases.append(StormPhase(clock_us, duration_us, plan))
+        clock_us += duration_us + rng.choice([0.0, 500.0, 2000.0])
+    crashes = ()
+    if errors and rng.random() < 0.4:
+        start_us = rng.choice([500.0, 2000.0, 5000.0])
+        crashes = (CrashWindow(start_us, rng.choice([1000.0, 3000.0])),)
+    return FaultStorm(phases=tuple(phases), crashes=crashes)
+
+
+def gen_replica_layout(rng: random.Random) -> Dict[str, Any]:
+    """How the resilient arm replicates and recovers a seeded case.
+
+    Draws the checkpoint granularity, the retry budget, and whether hedged
+    reads are armed (with a deterministic default deadline — the sweep runs
+    one query per system, so there is no latency history to learn from).
+    """
+    return {
+        "num_devices": 2,
+        "primary": 0,
+        "checkpoint_pages": rng.choice([1, 2, 4, 8]),
+        "retry_limit": rng.choice([6, 8, 10]),
+        "backoff_us": rng.choice([250.0, 500.0, 1000.0]),
+        "hedge": rng.random() < 0.5,
+        "hedge_default_us": rng.choice([1500.0, 3000.0, 6000.0]),
+    }
 
 
 # -------------------------------------------------------- two-app schedules

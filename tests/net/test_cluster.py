@@ -175,3 +175,169 @@ def test_serving_jobs_spread_across_devices():
     assert registry.counter("serve.device0.dispatched") is not \
         registry.counter("serve.device1.dispatched")
     assert sum(per_device) <= result.manager.jobs_submitted
+
+
+# --------------------------------------------------------- replica placement
+def test_replica_map_rotation_placement():
+    from repro.net.cluster import ReplicaMap
+
+    replica_map = ReplicaMap(num_shards=6, num_nodes=3, replication=2)
+    assert replica_map.primary(0) == 0
+    assert replica_map.primary(4) == 1
+    assert replica_map.replicas(0) == [1]
+    assert replica_map.replicas(2) == [0]  # ring wraps
+    assert replica_map.nodes_for(5) == [2, 0]
+
+
+def test_replica_map_spreads_a_dead_nodes_load():
+    """Rotation means node 0's shards are replicated across *every* other
+    node, not mirrored onto a single partner."""
+    from repro.net.cluster import ReplicaMap
+
+    replica_map = ReplicaMap(num_shards=12, num_nodes=4, replication=2)
+    backups = {replica_map.replicas(s)[0]
+               for s in replica_map.primaries_on(0)}
+    assert backups == {1}  # with replication=2 the next node backs up...
+    replica_map = ReplicaMap(num_shards=12, num_nodes=4, replication=3)
+    backups = set()
+    for shard in replica_map.primaries_on(0):
+        backups.update(replica_map.replicas(shard))
+    assert backups == {1, 2}  # ...and wider replication fans further
+
+
+def test_replica_map_shards_on_counts_every_copy():
+    from repro.net.cluster import ReplicaMap
+
+    replica_map = ReplicaMap(num_shards=8, num_nodes=4, replication=2)
+    for node in range(4):
+        held = replica_map.shards_on(node)
+        assert held == sorted(held)
+        # Each node holds its primaries plus its predecessors' replicas.
+        assert len(held) == len(replica_map.primaries_on(node)) * 2
+
+
+def test_replica_map_validation():
+    from repro.net.cluster import ReplicaMap
+
+    with pytest.raises(ValueError):
+        ReplicaMap(num_shards=0, num_nodes=2)
+    with pytest.raises(ValueError):
+        ReplicaMap(num_shards=2, num_nodes=0)
+    with pytest.raises(ValueError):
+        ReplicaMap(num_shards=2, num_nodes=2, replication=3)
+
+
+# --------------------------------------------------------------- hedged reads
+def _hedge_fixture(num_nodes=2):
+    from repro.net.cluster import ReplicaMap
+    from repro.resilience import HedgePolicy
+
+    cluster = ScaleOutCluster(num_nodes=num_nodes, link_latency_us=10.0)
+    replica_map = ReplicaMap(num_shards=num_nodes, num_nodes=num_nodes)
+    return cluster, replica_map, HedgePolicy
+
+
+def test_hedged_call_fast_primary_never_hedges():
+    cluster, replica_map, HedgePolicy = _hedge_fixture()
+    policy = HedgePolicy(default_us=1_000_000.0)
+
+    def make_work(node):
+        def work():
+            yield cluster.sim.timeout(1000)
+            return node.name
+
+        return work()
+
+    value = cluster.run_fiber(
+        cluster.hedged_call(0, replica_map, make_work, policy))
+    assert value == cluster.nodes[0].name
+    assert policy.counters() == {"hedges_fired": 0, "hedge_wins": 0,
+                                 "primary_wins": 1, "failovers": 0}
+
+
+def test_hedged_call_slow_primary_loses_to_replica():
+    from repro.sim.units import us_to_ns
+
+    cluster, replica_map, HedgePolicy = _hedge_fixture()
+    policy = HedgePolicy(default_us=300.0)
+
+    def make_work(node):
+        def work():
+            # The primary (node 0) wedges; the replica answers promptly.
+            delay_us = 50_000.0 if node is cluster.nodes[0] else 50.0
+            yield cluster.sim.timeout(us_to_ns(delay_us))
+            return node.name
+
+        return work()
+
+    value = cluster.run_fiber(
+        cluster.hedged_call(0, replica_map, make_work, policy))
+    assert value == cluster.nodes[1].name
+    assert policy.hedges_fired == 1
+    assert policy.hedge_wins == 1
+    assert policy.primary_wins == 0
+    # The loser was interrupted, not left running to the 50ms mark.
+    assert cluster.sim.now_us < 50_000.0
+
+
+def test_hedged_call_failing_primary_fails_over_before_the_deadline():
+    from repro.core.errors import DeviceError
+
+    cluster, replica_map, HedgePolicy = _hedge_fixture()
+    policy = HedgePolicy(default_us=1_000_000.0)
+
+    def make_work(node):
+        def work():
+            yield cluster.sim.timeout(1000)
+            if node is cluster.nodes[0]:
+                raise DeviceError("primary media error")
+            return node.name
+
+        return work()
+
+    value = cluster.run_fiber(
+        cluster.hedged_call(0, replica_map, make_work, policy))
+    assert value == cluster.nodes[1].name
+    assert policy.failovers == 1
+    assert policy.hedges_fired == 0  # no deadline wait: straight failover
+    # Failing over did not burn the megasecond hedge deadline.
+    assert cluster.sim.now_us < 10_000.0
+
+
+def test_hedged_call_raises_only_when_every_copy_fails():
+    from repro.core.errors import DeviceError
+
+    cluster, replica_map, HedgePolicy = _hedge_fixture()
+    policy = HedgePolicy(default_us=100.0)
+
+    def make_work(node):
+        def work():
+            yield cluster.sim.timeout(1000)
+            raise DeviceError("%s down" % node.name)
+
+        return work()
+
+    with pytest.raises(DeviceError):
+        cluster.run_fiber(
+            cluster.hedged_call(0, replica_map, make_work, policy))
+
+
+def test_hedged_call_single_replica_degenerates_to_plain_rpc():
+    cluster, replica_map, HedgePolicy = _hedge_fixture()
+    from repro.net.cluster import ReplicaMap
+
+    solo = ReplicaMap(num_shards=2, num_nodes=2, replication=1)
+    policy = HedgePolicy(default_us=100.0)
+
+    def make_work(node):
+        def work():
+            yield cluster.sim.timeout(1000)
+            return node.name
+
+        return work()
+
+    value = cluster.run_fiber(
+        cluster.hedged_call(1, solo, make_work, policy))
+    assert value == cluster.nodes[1].name
+    assert policy.hedges_fired == 0
+    assert policy.primary_wins == 1
