@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience
+.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience sim-throughput
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -31,6 +31,11 @@ bench:
 # Emits BENCH_resilience.json (byte-deterministic across hash seeds).
 resilience:
 	PYTHONPATH=src $(PYTHON) -m repro.bench resilience
+
+# Simulator throughput: fused fast path on vs off across three workload
+# shapes.  Emits BENCH_sim_throughput.json (deterministic except "wall").
+sim-throughput:
+	PYTHONPATH=src $(PYTHON) -m repro.bench sim_throughput
 
 # Run a serving-layer traffic mix deterministically (override MIX/POLICY,
 # e.g. `make serve MIX=saturation POLICY=wfq`).

@@ -17,6 +17,7 @@ import time
 from repro.bench import experiments
 from repro.bench.harness import save_result
 from repro.bench.resilience import exp_resilience
+from repro.bench.throughput import exp_sim_throughput
 
 EXPERIMENTS = {
     "table2": ("Table II — I/O port latencies", experiments.exp_table2_port_latency, False),
@@ -30,6 +31,7 @@ EXPERIMENTS = {
     "fig10": ("Fig. 10 — full TPC-H", experiments.exp_fig10_tpch, True),
     "serve": ("Serving — saturation sweep + fairness", experiments.exp_serve_saturation, False),
     "resilience": ("Resilience — SQL under a seeded fault storm", exp_resilience, False),
+    "sim_throughput": ("Simulator — events/sec with the fused fast path", exp_sim_throughput, False),
 }
 
 

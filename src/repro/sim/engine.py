@@ -288,16 +288,23 @@ class AllOf(Event):
         if failed is not None:
             failed.defused = True
             self.fail(failed._exception)
-            return
-        if self._pending == 0:
+        elif self._pending == 0:
             self.succeed([e.value for e in self._events])
-            return
+        # Children still pending after the composite settled keep a callback:
+        # a child that *fails* once nobody is listening (the composite already
+        # failed fast, or the waiter moved on) must be absorbed by
+        # _child_done, not crash the run as an unhandled failure.
         for event in self._events:
             if not event.processed:
                 event.add_callback(self._child_done)
 
     def _child_done(self, event: Event) -> None:
         if self._scheduled:
+            if event._exception is not None:
+                # Late child of a settled composite — e.g. the hedged-race
+                # loser failing after the winner answered.  Nobody is left
+                # to receive the exception; absorb it.
+                event.defused = True
             return
         if event._exception is not None:
             event.defused = True
@@ -319,12 +326,19 @@ class AnyOf(Event):
         for event in self._events:
             if event.sim is not sim:
                 raise SimulationError("cannot mix events from different simulators")
+        finished: Optional[Event] = None
         for event in self._events:
             if event.processed:
-                self._finish(event)
-                return
+                finished = event
+                break
+        if finished is not None:
+            self._finish(finished)
+        # Losers of an already-decided race still get a callback so a late
+        # failure is defused instead of escaping as unhandled (see
+        # AllOf._child_done).
         for event in self._events:
-            event.add_callback(self._child_done)
+            if not event.processed:
+                event.add_callback(self._child_done)
 
     def _finish(self, event: Event) -> None:
         if event._exception is not None:
@@ -335,6 +349,10 @@ class AnyOf(Event):
 
     def _child_done(self, event: Event) -> None:
         if self._scheduled:
+            if event._exception is not None:
+                # The hedged-race loser failing after the winner triggered:
+                # absorb the failure, nobody is listening anymore.
+                event.defused = True
             return
         self._finish(event)
 
@@ -356,6 +374,10 @@ class Simulator:
         self._now = 0
         self._heap: List[Any] = []
         self._sequence = 0
+        # Heap entries processed since construction.  Deterministic for a
+        # given workload (it counts scheduled events, not wall time), so the
+        # throughput bench and the fast-path tests can assert on it.
+        self.events_processed = 0
         # Structured-event tracing hook (repro.instrument.events.EventBus).
         # None means tracing is off; instrumented layers guard every emission
         # with a single ``sim.trace is not None`` check, so the disabled path
@@ -400,11 +422,45 @@ class Simulator:
         """Process the single next event."""
         when, __, event = heapq.heappop(self._heap)
         self._now = when
+        self.events_processed += 1
         event._run_callbacks()
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled event, or None if the heap is empty."""
         return self._heap[0][0] if self._heap else None
+
+    def _run_batched(self, heap: List[Any]) -> None:
+        """Drain the heap, popping all entries of each timestamp together.
+
+        Dispatching a whole timestamp as one batch amortizes the heap
+        traffic: events scheduled *during* the batch carry larger sequence
+        numbers than everything popped, so running the popped entries in
+        their (already sorted) pop order and only then returning to the heap
+        preserves the exact sequence-order semantics of one-at-a-time
+        :meth:`step`.  An exception pushes the unprocessed remainder back so
+        the heap is left exactly as repeated ``step()`` calls would leave it.
+        """
+        pop = heapq.heappop
+        batch: List[Any] = []
+        while heap:
+            entry = pop(heap)
+            when = entry[0]
+            self._now = when
+            batch.append(entry)
+            while heap and heap[0][0] == when:
+                batch.append(pop(heap))
+            index = 0
+            try:
+                while index < len(batch):
+                    event = batch[index][2]
+                    index += 1
+                    self.events_processed += 1
+                    event._run_callbacks()
+            except BaseException:
+                for entry in batch[index:]:
+                    heapq.heappush(heap, entry)
+                raise
+            batch.clear()
 
     def run(self, until: Any = None) -> Any:
         """Run the event loop.
@@ -414,15 +470,24 @@ class Simulator:
         :class:`Event` (run until it is processed; returns its value).
         """
         if until is None:
-            while self._heap:
-                self.step()
+            self._run_batched(self._heap)
             return None
         if isinstance(until, Event):
             sentinel = until
+            saved_defused = sentinel.defused
             sentinel.defused = True  # run() surfaces the failure itself
-            while self._heap and not sentinel.processed:
-                self.step()
-            if not sentinel.processed:
+            heap = self._heap
+            pop = heapq.heappop
+            while heap and not sentinel._processed:
+                when, __, event = pop(heap)
+                self._now = when
+                self.events_processed += 1
+                event._run_callbacks()
+            if not sentinel._processed:
+                # The flag only exists to mark run() as the failure's
+                # consumer; when the sentinel never fired, put it back so a
+                # later failure still surfaces as unhandled.
+                sentinel.defused = saved_defused
                 raise SimulationError(
                     "run() ran out of events before %r triggered" % sentinel
                 )
@@ -430,7 +495,12 @@ class Simulator:
         deadline = int(until)
         if deadline < self._now:
             raise ValueError("cannot run until the past")
-        while self._heap and self._heap[0][0] <= deadline:
-            self.step()
+        heap = self._heap
+        pop = heapq.heappop
+        while heap and heap[0][0] <= deadline:
+            when, __, event = pop(heap)
+            self._now = when
+            self.events_processed += 1
+            event._run_callbacks()
         self._now = deadline
         return None

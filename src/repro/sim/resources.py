@@ -105,6 +105,16 @@ class Resource:
         self._account()
         return self._busy_area
 
+    def backfill_busy(self, area: int) -> None:
+        """Credit ``area`` unit·ns of held capacity retroactively.
+
+        The fused NAND fast path (:mod:`repro.sim.fastpath`) holds no real
+        units while a plan is in flight; when the plan settles it deposits
+        the exact busy integral its ops would have accrued, keeping
+        :meth:`utilization` identical to the per-event path at settle points.
+        """
+        self._busy_area += area
+
 
 class Store:
     """Unbounded FIFO buffer: immediate puts, event-returning gets."""

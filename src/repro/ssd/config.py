@@ -70,6 +70,12 @@ class SSDConfig:
     # still pipeline across dies).  1 disables coalescing.  Matcher-engaged
     # reads never coalesce: the IP is reconfigured per stripe.
     read_coalesce_limit: int = 8
+    # Fused NAND fast path (repro.sim.fastpath): clean page reads on a
+    # channel free of per-event traffic are scheduled in closed form and
+    # retired through one event instead of ~6 per page.  Timing is
+    # bit-identical either way — gated by the golden-trace and fast-path
+    # differential suites; False restores event-per-op stepping.
+    sim_fast_path: bool = True
     device_cores: int = 2  # ARM Cortex R7 cores available to Biscuit (Table I)
     device_core_mhz: float = 750.0
     # Effective software data-processing rate of the device cores.  Two

@@ -25,17 +25,17 @@ channel contention.
 
 from __future__ import annotations
 
-from typing import Generator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Generator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.core.errors import EccError, UncorrectableReadError
 from repro.instrument.metrics import MetricsRegistry, registry_counter
-from repro.sim.engine import Simulator, all_of
+from repro.sim.engine import Event, Simulator, all_of
 from repro.sim.resources import Resource
 from repro.sim.units import us_to_ns
 from repro.ssd.cache import DeviceReadCache
 from repro.ssd.config import SSDConfig
 from repro.ssd.ftl import FTL
-from repro.ssd.nand import NandArray
+from repro.ssd.nand import FAULT_NOT_DRAWN, NandArray
 
 __all__ = ["Controller", "ReadStats", "Stripe"]
 
@@ -45,7 +45,10 @@ class Stripe(NamedTuple):
 
     channel: int
     physical: int
-    lpns: Tuple[int, ...]  # distinct logical pages resident in this stripe
+    # Distinct logical pages resident in this stripe.  A tuple in general;
+    # the contiguous-request fast path in _group_stripes uses a ``range``
+    # (consumers only take len() and iterate).
+    lpns: Sequence[int]
 
 
 class ReadStats:
@@ -64,7 +67,8 @@ class ReadStats:
     _FIELDS = ("read_commands", "write_commands", "logical_pages_read",
                "logical_pages_written", "matcher_commands",
                "coalesced_commands", "coalesced_stripes", "read_retries",
-               "recovered_reads", "unrecoverable_reads")
+               "recovered_reads", "unrecoverable_reads", "fused_commands",
+               "fused_stripes")
 
     def __init__(self, logical_page_bytes: int = 4096,
                  cache: Optional[DeviceReadCache] = None,
@@ -91,6 +95,10 @@ class ReadStats:
     read_retries = registry_counter("read_retries")
     recovered_reads = registry_counter("recovered_reads")
     unrecoverable_reads = registry_counter("unrecoverable_reads")
+    #: Channel commands retired through the fused fast path.
+    fused_commands = registry_counter("fused_commands")
+    #: Stripes those commands covered.
+    fused_stripes = registry_counter("fused_stripes")
 
     def snapshot(self) -> dict:
         return {field: self._counters[field].value for field in self._FIELDS}
@@ -192,11 +200,34 @@ class Controller:
         sensed and transferred once, so a request that repeats a page must
         not inflate the NAND transfer size.
         """
-        groups: dict = {}
-        for lpn in lpns:
-            channel, physical = self.placement(lpn)
-            groups.setdefault((channel, physical), set()).add(lpn)
         slots = self.config.logical_pages_per_physical
+        groups: dict = {}
+        if self.ftl.mapped_pages == 0:
+            # Nothing written through the FTL: placement is pure round-robin
+            # arithmetic.  A contiguous ascending request (the streaming
+            # shape of every scan and bench) yields its stripes directly,
+            # with no per-LPN dict traffic — this path is hot enough that
+            # the simulator fast path would otherwise be bounded by it.
+            channels = self.config.channels
+            if isinstance(lpns, range) and lpns.step == 1 and len(lpns):
+                start, stop = lpns.start, lpns.stop
+                first, last = start // slots, (stop - 1) // slots
+                stripes = []
+                for physical in range(first, last + 1):
+                    base = physical * slots
+                    lo = start if physical == first else base
+                    hi = stop if physical == last else base + slots
+                    stripes.append(
+                        Stripe(physical % channels, physical, range(lo, hi)))
+                return stripes
+            for lpn in lpns:
+                physical = lpn // slots
+                groups.setdefault((physical % channels, physical),
+                                  set()).add(lpn)
+        else:
+            for lpn in lpns:
+                channel, physical = self.placement(lpn)
+                groups.setdefault((channel, physical), set()).add(lpn)
         return [
             Stripe(channel, physical, tuple(sorted(page_lpns))[:slots])
             for (channel, physical), page_lpns in groups.items()
@@ -219,6 +250,17 @@ class Controller:
         for stripe in stripes:
             per_channel.setdefault(stripe.channel, []).append(stripe)
         batches: List[List[Stripe]] = []
+        if type(stripes[0].lpns) is range:
+            # Contiguous-request stripes (the arithmetic path in
+            # _group_stripes, the only producer of range lpns): per channel
+            # they arrive sorted with a physical stride of exactly the
+            # channel count, so every consecutive pair is adjacent and the
+            # runs are plain fixed-size chunks.
+            for channel in sorted(per_channel):
+                run = per_channel[channel]
+                batches.extend(run[i:i + limit]
+                               for i in range(0, len(run), limit))
+            return batches
         for channel in sorted(per_channel):
             run: List[Stripe] = []
             for stripe in sorted(per_channel[channel],
@@ -254,7 +296,9 @@ class Controller:
         # with UncorrectableReadError are still visible in the stats.
         self.stats.read_commands += 1
         self.inflight_commands += 1
-        self.stats.logical_pages_read += sum(len(s.lpns) for s in stripes)
+        self.stats.logical_pages_read += (
+            len(lpns) if isinstance(lpns, range)  # ranges hold no duplicates
+            else sum(len(s.lpns) for s in stripes))
         if use_matcher:
             self.stats.matcher_commands += 1
             # A matcher-engaged read is a streaming scan by construction:
@@ -300,21 +344,104 @@ class Controller:
         if use_matcher:
             dispatch_us += self.config.matcher_control_us_per_stripe * len(batch)
         yield from self._occupy_core(dispatch_us, label="dispatch")
+        channel = self.nand[batch[0].channel]
+        cache = self.cache
+        caching = cache is not None and cache.enabled and not cache_bypass
+        # Fault outcomes for the whole channel command are drawn here, at
+        # dispatch, in stripe order — whether or not the fused fast path
+        # engages — so the injector's seeded stream is consumed identically
+        # with the fast path on and off.  Cache-eligible reads keep drawing
+        # inside Channel.read instead: a hit performs no NAND attempt and
+        # must not consume a draw.
+        faults: Optional[List[Any]] = None
+        if channel.injector is not None and not caching:
+            faults = [channel.injector.draw_read(channel.index, s.physical)
+                      for s in batch]
+        if (self.config.sim_fast_path and not caching
+                and (faults is None
+                     or all(fault is None for fault in faults))):
+            if len(batch) == 1:
+                # Single stripes run inline below, committing their die
+                # request at this very event — so deciding fusion here is
+                # position-exact.
+                fused = channel.try_fuse_reads(
+                    (len(batch[0].lpns) * self.config.logical_page_bytes,))
+                if fused is not None:
+                    if cache is not None and cache.enabled:
+                        cache.note_bypass()
+                    self.stats.fused_commands += 1
+                    self.stats.fused_stripes += 1
+                    yield fused
+                    return
+            else:
+                # Multi-stripe commands commit their die requests at the op
+                # fibers' bootstrap events, one event after this dispatch
+                # fiber — a same-timestep interferer scheduled in between is
+                # served first on the per-event path.  Decide fusion from a
+                # single spawned fiber at exactly that position so the FIFO
+                # order (and hence every timestamp) matches bit-for-bit.
+                proc = self.sim.process(
+                    self._fuse_or_fan(channel, batch, cache_bypass),
+                    name="fuse ch%d" % batch[0].channel)
+                yield proc
+                return
         if len(batch) == 1:
-            yield from self._read_stripe(batch[0], cache_bypass)
+            yield from self._read_stripe(
+                batch[0], cache_bypass,
+                fault=faults[0] if faults is not None else FAULT_NOT_DRAWN)
             return
         # The batched stripes still land on distinct dies/pages: issue their
         # media operations concurrently so the channel keeps pipelining
         # senses against bus transfers (only the dispatch was amortized).
         ops = [
-            self.sim.process(self._read_stripe(stripe, cache_bypass),
-                             name="page ch%d p%d" % (stripe.channel,
-                                                     stripe.physical))
-            for stripe in batch
+            self.sim.process(
+                self._read_stripe(
+                    stripe, cache_bypass,
+                    fault=faults[i] if faults is not None else FAULT_NOT_DRAWN),
+                name="page ch%d p%d" % (stripe.channel, stripe.physical))
+            for i, stripe in enumerate(batch)
         ]
         yield all_of(self.sim, ops)
 
-    def _read_stripe(self, stripe: Stripe, cache_bypass: bool) -> Generator:
+    def _fuse_or_fan(self, channel, batch: List[Stripe],
+                     cache_bypass: bool) -> Generator:
+        """Fiber: fuse a clean multi-stripe command, or fan out per-event.
+
+        Runs as one spawned process standing in for the batch's op fibers:
+        its bootstrap event sits where the first op fiber's would, and the
+        ops' die requests would occupy the immediately following event
+        positions, which nothing else can be scheduled between.  So fusing
+        here (claiming the whole analytic schedule at once) or falling back
+        (creating the die requests synchronously in stripe order) both land
+        the batch in exactly the per-event path's FIFO positions.
+        """
+        fused = channel.try_fuse_reads(
+            tuple(len(s.lpns) * self.config.logical_page_bytes
+                  for s in batch))
+        if fused is not None:
+            cache = self.cache
+            if cache is not None and cache.enabled:
+                for _stripe in batch:
+                    cache.note_bypass()
+            self.stats.fused_commands += 1
+            self.stats.fused_stripes += len(batch)
+            yield fused
+            return
+        if channel.fastpath.active:
+            channel.fastpath.materialize()
+        requests = [channel.dies.request() for _stripe in batch]
+        ops = [
+            self.sim.process(
+                self._read_stripe(stripe, cache_bypass, fault=None,
+                                  die_request=request),
+                name="page ch%d p%d" % (stripe.channel, stripe.physical))
+            for stripe, request in zip(batch, requests)
+        ]
+        yield all_of(self.sim, ops)
+
+    def _read_stripe(self, stripe: Stripe, cache_bypass: bool,
+                     fault: Any = FAULT_NOT_DRAWN,
+                     die_request: Optional[Event] = None) -> Generator:
         cache = self.cache
         if cache is not None and cache.enabled:
             if cache_bypass:
@@ -330,9 +457,12 @@ class Controller:
         while True:
             try:
                 yield from self.nand[stripe.channel].read(
-                    transfer, physical_page=stripe.physical)
+                    transfer, physical_page=stripe.physical, fault=fault,
+                    die_request=die_request)
             except EccError as exc:
                 attempt += 1
+                fault = FAULT_NOT_DRAWN  # each retry is a fresh draw
+                die_request = None  # and queues for its die anew
                 self.stats.read_retries += 1
                 if self.sim.trace is not None:
                     self.sim.trace.instant(

@@ -9,15 +9,20 @@ paper's SSD its >4 GB/s internal bandwidth.
 
 from __future__ import annotations
 
-from typing import Generator, Optional
+from typing import Any, Generator, Optional, Tuple
 
 from repro.core.errors import DeviceCrashedError, EccError, UncorrectableReadError
-from repro.sim.engine import Simulator
+from repro.sim.engine import Event, Simulator
+from repro.sim.fastpath import ChannelFastPath
 from repro.sim.resources import Resource
 from repro.sim.units import transfer_ns, us_to_ns
 from repro.ssd.config import SSDConfig
 
-__all__ = ["Channel", "NandArray"]
+__all__ = ["Channel", "NandArray", "FAULT_NOT_DRAWN"]
+
+#: Sentinel for Channel.read's ``fault`` parameter: "draw from the injector
+#: yourself".  Distinct from None, which means "pre-drawn, and clean".
+FAULT_NOT_DRAWN: Any = object()
 
 
 class Channel:
@@ -37,6 +42,11 @@ class Channel:
         self.dies = Resource(sim, capacity=config.dies_per_channel, name="ch%d.dies" % index)
         self.bus = Resource(sim, capacity=1, name="ch%d.bus" % index)
         self.injector = None
+        # Analytic event-fusion state (repro.sim.fastpath).  Engaged by the
+        # controller via try_fuse_reads when SSDConfig.sim_fast_path is on;
+        # any per-event traffic arriving below de-fuses it first.
+        self.fastpath = ChannelFastPath(sim, self.dies, self.bus,
+                                        self._fused_done)
         # Trace track for nand.* events; SSDDevice rescopes it ("ssd0/ch3").
         self.trace_track = "ssd/ch%d" % index
         self.bytes_read = 0
@@ -45,30 +55,66 @@ class Channel:
         self.programs = 0
         self.erases = 0
 
+    def _fused_done(self, nbytes: int, reads: int) -> None:
+        self.bytes_read += nbytes
+        self.reads += reads
+
+    def try_fuse_reads(self, sizes: Tuple[int, ...]) -> Optional[Event]:
+        """Try to run a batch of page reads analytically (one completion
+        event instead of ~6 per op); None when the channel must stay
+        per-event.  ``sizes`` are the per-page transfer bytes in arrival
+        order.  The caller guarantees no fault is pending for any of these
+        reads and that tracing is off (traced runs need every event).
+        """
+        if self.sim.trace is not None:
+            return None
+        config = self.config
+        page_bytes = config.physical_page_bytes
+        for transfer_bytes in sizes:
+            if not 0 < transfer_bytes <= page_bytes:
+                raise ValueError("transfer of %d bytes from a %d-byte page"
+                                 % (transfer_bytes, page_bytes))
+        return self.fastpath.try_fuse(sizes, us_to_ns(config.nand_read_us),
+                                      config.channel_bytes_per_sec)
+
     def read(self, transfer_bytes: int,
-             physical_page: Optional[int] = None) -> Generator:
+             physical_page: Optional[int] = None,
+             fault: Any = FAULT_NOT_DRAWN,
+             die_request: Optional[Event] = None) -> Generator:
         """Read one physical page, transferring ``transfer_bytes`` of it.
 
         Fiber: occupies a die for tR, then the channel bus for the transfer.
         ``transfer_bytes`` may be less than the physical page when only some
         logical sub-pages are wanted.  ``physical_page`` is carried for fault
-        injection and error context only.
+        injection and error context only.  ``fault`` lets the controller
+        pass a pre-drawn injector outcome (it draws per channel command so
+        the stream is consumed identically with the fast path on and off);
+        by default the read draws its own.  ``die_request`` lets the
+        controller's fan-out path pass a die request it already enqueued
+        (to pin the batch's FIFO positions); only safe with a pre-drawn
+        clean ``fault``, since a crash outcome would leak the grant.
         """
         config = self.config
         if not 0 < transfer_bytes <= config.physical_page_bytes:
             raise ValueError("transfer of %d bytes from a %d-byte page"
                              % (transfer_bytes, config.physical_page_bytes))
-        fault = None
-        if self.injector is not None:
-            fault = self.injector.draw_read(self.index, physical_page)
+        if fault is FAULT_NOT_DRAWN:
+            fault = None
+            if self.injector is not None:
+                fault = self.injector.draw_read(self.index, physical_page)
         if fault is not None and fault.kind == "crash":
             # The whole device is dark: fail fast without occupying a die —
             # there is no sense to time when the controller itself is gone.
+            # (No de-fusion either: the per-event path touches nothing here.)
             raise DeviceCrashedError("device crashed",
                                      channel=self.index, page=physical_page)
+        if self.fastpath.active:
+            # Per-event traffic interferes with the in-flight fused plans:
+            # fall back to per-event stepping before touching the channel.
+            self.fastpath.materialize()
         trace = self.sim.trace
         start_ns = self.sim.now if trace is not None else 0
-        yield self.dies.request()
+        yield self.dies.request() if die_request is None else die_request
         try:
             sense_ns = us_to_ns(config.nand_read_us)
             if fault is not None and fault.kind == "spike":
@@ -103,6 +149,8 @@ class Channel:
         if not 0 < transfer_bytes <= config.physical_page_bytes:
             raise ValueError("program of %d bytes into a %d-byte page"
                              % (transfer_bytes, config.physical_page_bytes))
+        if self.fastpath.active:
+            self.fastpath.materialize()
         trace = self.sim.trace
         start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()
@@ -123,6 +171,8 @@ class Channel:
 
     def erase(self) -> Generator:
         """Erase one block (die busy for tBERS; no bus traffic)."""
+        if self.fastpath.active:
+            self.fastpath.materialize()
         trace = self.sim.trace
         start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request()

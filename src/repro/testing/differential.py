@@ -48,8 +48,9 @@ from repro.testing import strategies
 from repro.testing.faults import FaultInjector, StormInjector
 
 __all__ = [
-    "CaseResult", "run_case", "run_case_interleaved", "run_case_resilient",
-    "run_sweep", "run_resilient_sweep", "replay", "replay_resilient",
+    "CaseResult", "run_case", "run_case_fastpath", "run_case_interleaved",
+    "run_case_resilient", "run_sweep", "run_fastpath_sweep",
+    "run_resilient_sweep", "replay", "replay_resilient",
     "summarize", "rows_match", "eval_expr", "reference_rows",
     "force_offload_config",
 ]
@@ -382,6 +383,80 @@ def run_case_interleaved(seed: int) -> CaseResult:
     return CaseResult(seed, False, "match",
                       "interleaved with %s" % schedule["companion"],
                       line, offloaded)
+
+
+# ------------------------------------------------------------ fast-path arm
+def _run_fastpath_arm(seed: int, faults: bool, fast: bool):
+    """One full run_case-shaped execution with the fused fast path forced
+    on or off.  Returns everything the two arms must agree on, plus the
+    fusion counters (meaningful on the fast arm only)."""
+    rng = random.Random(seed)
+    ssd_config = strategies.gen_ssd_config(rng)
+    ssd_config.sim_fast_path = fast
+    schema, rows = strategies.gen_table(rng)
+    query = strategies.gen_query(rng, schema, rows)
+    plan = strategies.gen_fault_plan(rng)
+
+    system = System(ssd_config=ssd_config)
+    db = Database(system.fs)
+    db.load_table(schema, rows)
+    host_engine = _make_engine(system, db, ExecutionMode.CONV)
+    ndp_engine = _make_engine(system, db, ExecutionMode.BISCUIT)
+    if faults:
+        system.device.attach_fault_injector(FaultInjector(plan))
+
+    host_rows, host_error = _execute(system, host_engine, schema, query)
+    ndp_rows, ndp_error = _execute(system, ndp_engine, schema, query)
+    fused = sum(ch.fastpath.fused_pages for ch in system.device.nand.channels)
+    return {
+        "host_rows": host_rows,
+        "host_error": (type(host_error).__name__, str(host_error))
+                      if host_error is not None else None,
+        "ndp_rows": ndp_rows,
+        "ndp_error": (type(ndp_error).__name__, str(ndp_error))
+                     if ndp_error is not None else None,
+        "now": system.sim.now,
+        "events": system.sim.events_processed,
+        "fused_pages": fused,
+        "offloaded": ndp_engine.ndp_scans > 0,
+    }
+
+
+def run_case_fastpath(seed: int, faults: bool = True) -> CaseResult:
+    """One case run twice — fused fast path on vs off — judged for exact
+    equivalence: identical rows (order-sensitive), identical typed errors,
+    and the same final ``sim.now`` in both arms.
+
+    This is the determinism gate for :mod:`repro.sim.fastpath`: the fast
+    path claims bit-identical timing, so anything short of exact equality
+    is a ``mismatch``.  ``fault_counters`` reports both arms' processed
+    event counts and the fast arm's fused-page total, letting sweeps assert
+    that fusion actually engaged (an always-materializing fast path would
+    pass the equality check without testing anything).
+    """
+    line = strategies.repro_line(seed, faults)
+    fast_arm = _run_fastpath_arm(seed, faults, fast=True)
+    slow_arm = _run_fastpath_arm(seed, faults, fast=False)
+    counters = {
+        "fast_events": fast_arm["events"],
+        "slow_events": slow_arm["events"],
+        "fused_pages": fast_arm["fused_pages"],
+    }
+    offloaded = fast_arm["offloaded"] and slow_arm["offloaded"]
+    for field_name in ("host_rows", "ndp_rows", "host_error", "ndp_error",
+                      "now"):
+        if fast_arm[field_name] != slow_arm[field_name]:
+            detail = ("fast/slow arms disagree on %s: %r vs %r | %s"
+                      % (field_name, fast_arm[field_name],
+                         slow_arm[field_name], line))
+            return CaseResult(seed, faults, "mismatch", detail, line,
+                              offloaded, counters)
+    return CaseResult(seed, faults, "match", "", line, offloaded, counters)
+
+
+def run_fastpath_sweep(seeds, faults: bool = True) -> List[CaseResult]:
+    """One fast-vs-slow case per seed (failures carry their repro line)."""
+    return [run_case_fastpath(seed, faults=faults) for seed in seeds]
 
 
 # ------------------------------------------------------------ resilient arm

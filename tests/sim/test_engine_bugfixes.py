@@ -1,0 +1,155 @@
+"""Regression tests for two event-loop bugs.
+
+1. ``AnyOf``/``AllOf`` left a child that fails *after* the composite settled
+   undefused — the loser of a hedged race escaping as an unhandled failure.
+2. ``Simulator.run(until=event)`` permanently set ``sentinel.defused`` even
+   when it raised ``SimulationError`` on heap exhaustion, so a later failure
+   of that same event was silently swallowed by the next ``run()``.
+"""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator, all_of, any_of
+
+
+# --------------------------------------------------- late-failing race losers
+def test_any_of_defuses_loser_failing_after_winner():
+    """Hedged-read shape: the replica answers, then the primary dies."""
+    sim = Simulator()
+
+    def replica():
+        yield sim.timeout(10)
+        return "replica-data"
+
+    def primary():
+        yield sim.timeout(20)
+        raise RuntimeError("primary failed after the race was decided")
+
+    primary_proc = sim.process(primary())
+    replica_proc = sim.process(replica())
+
+    def hedged():
+        value = yield any_of(sim, [primary_proc, replica_proc])
+        return value
+
+    assert sim.run(sim.process(hedged())) == "replica-data"
+    # Draining past t=20 must absorb the loser's failure, not crash.
+    sim.run()
+    assert primary_proc.defused is True
+
+
+def test_any_of_built_after_winner_defuses_late_loser():
+    """The composite settles at construction (winner already processed); the
+    still-running loser must not escape as an unhandled failure later."""
+    sim = Simulator()
+    winner = sim.event()
+    winner.succeed("cached")
+    sim.run(until=1)  # let the winner process
+
+    def doomed():
+        yield sim.timeout(20)
+        raise RuntimeError("late loser")
+
+    loser = sim.process(doomed())
+
+    def hedged():
+        value = yield any_of(sim, [loser, winner])
+        return value
+
+    assert sim.run(sim.process(hedged())) == "cached"
+    sim.run()  # pre-fix: SimulationError("unhandled failure of <Process ...>")
+    assert loser.defused is True
+
+
+def test_all_of_defuses_child_failing_after_fail_fast():
+    """AllOf fails fast on the first failure; a second child that fails later
+    has nobody listening and must be defused."""
+    sim = Simulator()
+
+    def fast_failure():
+        yield sim.timeout(5)
+        raise RuntimeError("first")
+
+    def slow_failure():
+        yield sim.timeout(15)
+        raise RuntimeError("second")
+
+    slow = sim.process(slow_failure())
+    gathered = all_of(sim, [sim.process(fast_failure()), slow])
+    with pytest.raises(RuntimeError, match="first"):
+        sim.run(gathered)
+    sim.run()
+    assert slow.defused is True
+
+
+def test_all_of_built_after_failure_defuses_pending_child():
+    """Fail-fast at construction (one child already failed and processed)
+    must still absorb the other child's later failure."""
+    sim = Simulator()
+    failed = sim.event()
+    failed.defused = True
+    failed.fail(RuntimeError("already dead"))
+    sim.run(until=1)
+
+    def doomed():
+        yield sim.timeout(20)
+        raise RuntimeError("late")
+
+    straggler = sim.process(doomed())
+    gathered = all_of(sim, [failed, straggler])
+    with pytest.raises(RuntimeError, match="already dead"):
+        sim.run(gathered)
+    sim.run()  # pre-fix: unhandled failure of the straggler
+    assert straggler.defused is True
+
+
+def test_any_of_succeeding_loser_still_ignored():
+    """A loser that *succeeds* late stays a no-op (no defuse needed)."""
+    sim = Simulator()
+
+    def fiber(delay, value):
+        yield sim.timeout(delay)
+        return value
+
+    first = sim.process(fiber(5, "first"))
+    second = sim.process(fiber(10, "second"))
+    assert sim.run(any_of(sim, [first, second])) == "first"
+    sim.run()
+    assert second.value == "second"
+
+
+# ------------------------------------------- run(until=event) defused scoping
+def test_run_until_event_restores_defused_on_exhaustion():
+    sim = Simulator()
+    lonely = sim.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(lonely)
+    assert lonely.defused is False
+    # The event later fails with nobody listening: that must still crash the
+    # simulation as an unhandled failure (pre-fix it was silently swallowed).
+    lonely.fail(RuntimeError("late failure"))
+    with pytest.raises(SimulationError, match="unhandled failure"):
+        sim.run()
+
+
+def test_run_until_event_still_surfaces_sentinel_failure():
+    """The normal path: run(until=event) raises the sentinel's own exception
+    (the defused flag exists exactly so run() is the consumer)."""
+    sim = Simulator()
+
+    def doomed():
+        yield sim.timeout(5)
+        raise ValueError("sentinel exploded")
+
+    with pytest.raises(ValueError, match="sentinel exploded"):
+        sim.run(sim.process(doomed()))
+
+
+def test_run_until_event_exhaustion_leaves_explicit_defuse_alone():
+    """An event the caller already defused stays defused after exhaustion."""
+    sim = Simulator()
+    handled = sim.event()
+    handled.defused = True
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(handled)
+    assert handled.defused is True
