@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience sim-throughput
+.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience sim-throughput race
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -56,6 +56,15 @@ trace:
 # Determinism/unit-discipline lint suite (exit 1 on any finding).
 lint:
 	PYTHONPATH=src $(PYTHON) -m repro.analysis --strict src/repro
+
+# Interleaving sanitizer: static RPR3xx rules in strict mode, then a golden
+# workload under REPRO_RACE_CHECK with reversed tie-breaking in every
+# provably order-free batch (must stay conflict-free and bit-identical).
+# Override with `make race RACE_WORKLOAD=fig7`.
+RACE_WORKLOAD ?= table3
+race:
+	PYTHONPATH=src $(PYTHON) -m repro.analysis --strict --select RPR3 src/repro
+	PYTHONPATH=src $(PYTHON) -m repro.analysis.races --workload $(RACE_WORKLOAD)
 
 # mypy --strict over the typed surface.  Skips (exit 0) when mypy is not
 # installed — the container image has no network, so the gate only binds

@@ -16,6 +16,17 @@ runtime (or never):
   randomness, hash-ordered iteration, unit-suffix violations, blocking I/O
   in fibers and discarded simulator events.  ``# repro: noqa RPRxxx``
   waives a finding on its line.
+
+* **Interleaving sanitizer** (:mod:`repro.analysis.races`) — two-sided.
+  Static rules RPR301-RPR304 (run by the same lint CLI) flag yield-point
+  races in fiber code: stale read-modify-write across a yield, mutation
+  after a port/Store handoff, acquires without exception-safe release, and
+  ``if``-guarded condition waits.  The runtime :class:`RaceMonitor`
+  (``REPRO_RACE_CHECK=1`` / ``SSDConfig.race_check``) footprints tied
+  same-timestamp events in the engine's dispatch batches, reports
+  conflicting footprints as ordering hazards, and — via
+  :func:`check_workload` — replays a workload with reversed tie-breaking
+  in provably order-free batches, requiring a bit-identical trace.
 """
 
 from repro.analysis.findings import (
@@ -30,11 +41,28 @@ from repro.analysis.findings import (
 from repro.analysis.graph import GraphVerificationError, verify_graph, verify_links
 from repro.analysis.linter import (
     JSON_SCHEMA_VERSION,
+    expand_select,
     lint_file,
     lint_paths,
     render_json,
     render_text,
 )
+#: Names re-exported lazily (PEP 562) from repro.analysis.races.  Eager
+#: import would put the submodule in sys.modules before ``python -m
+#: repro.analysis.races`` executes it, spawning a second module object with
+#: its own monitor-collection state (and a runpy warning).
+_RACE_EXPORTS = frozenset({
+    "OrderingHazardError", "PerturbationReport", "RaceMonitor",
+    "check_races", "check_workload", "note_read", "note_write",
+})
+
+
+def __getattr__(name):
+    if name in _RACE_EXPORTS:
+        from repro.analysis import races
+        return getattr(races, name)
+    raise AttributeError("module %r has no attribute %r" % (__name__, name))
+
 
 __all__ = [
     "Finding",
@@ -49,7 +77,15 @@ __all__ = [
     "verify_links",
     "lint_file",
     "lint_paths",
+    "expand_select",
     "render_text",
     "render_json",
     "JSON_SCHEMA_VERSION",
+    "check_races",
+    "RaceMonitor",
+    "OrderingHazardError",
+    "check_workload",
+    "PerturbationReport",
+    "note_read",
+    "note_write",
 ]

@@ -19,8 +19,9 @@ import os
 import sys
 from typing import List, Optional
 
-from repro.analysis.findings import RULES, describe_rule
+from repro.analysis.findings import RULES
 from repro.analysis.linter import (
+    expand_select,
     iter_python_files,
     lint_paths,
     parse_noqa,
@@ -67,8 +68,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="machine-readable output")
     parser.add_argument("--select", default=None,
-                        help="comma-separated rule IDs to run (e.g. "
-                        "RPR001,RPR003)")
+                        help="comma-separated rule IDs or family prefixes "
+                        "to run (e.g. RPR001,RPR003 or RPR3)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--list-waivers", action="store_true",
@@ -82,10 +83,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     select = None
     if options.select:
         select = [part.strip() for part in options.select.split(",") if part.strip()]
-        for rule_id in select:
-            if describe_rule(rule_id) is None:
-                print("unknown rule ID: %s" % rule_id, file=sys.stderr)
-                return 2
+        try:
+            expand_select(select)
+        except ValueError as exc:
+            print("unknown rule ID: %s" % exc, file=sys.stderr)
+            return 2
 
     paths = options.paths or _default_target()
     for path in paths:

@@ -11,6 +11,8 @@ Numbering:
 * ``RPR001``–``RPR0xx`` — AST lint rules (simulator-determinism suite).
 * ``RPR101``–``RPR1xx`` — dataflow-graph verifier rules.
 * ``RPR201``–``RPR2xx`` — AST lint rules (SSDlet cooperative scheduling).
+* ``RPR301``–``RPR3xx`` — AST lint rules (fiber interleaving / yield-point
+  races; see repro.analysis.races).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ __all__ = [
     "GRAPH_RULES",
     "LINT_RULES",
     "SSDLET_LINT_RULES",
+    "RACE_LINT_RULES",
     "rule_ids",
     "describe_rule",
 ]
@@ -173,7 +176,44 @@ GRAPH_RULES: List[Rule] = [
     ),
 ]
 
-RULES: List[Rule] = LINT_RULES + GRAPH_RULES + SSDLET_LINT_RULES
+#: Fiber interleaving rules (see repro.analysis.races for the checkers).
+RACE_LINT_RULES: List[Rule] = [
+    Rule(
+        "RPR301",
+        "no stale read-modify-write across a yield",
+        "A shared attribute read into a local before a yield and written "
+        "back from that local after the yield overwrites whatever another "
+        "fiber did at the wait point — the classic lost update, invisible "
+        "until schedules shift. Re-read the attribute after resuming.",
+    ),
+    Rule(
+        "RPR302",
+        "no mutation after port/Store handoff",
+        "put(obj) transfers the object by reference; the consumer fiber "
+        "aliases it. Mutating it after the handoff means the consumer sees "
+        "the edit — or not — depending on schedule order. Copy before "
+        "putting, or stop touching it.",
+    ),
+    Rule(
+        "RPR303",
+        "acquire must release on exception paths",
+        "Between a Resource/Store acquire and its release, any yield is a "
+        "wait point where an Interrupt (hedged-read cancellation, tenant "
+        "eviction) or event failure can arrive; without try/finally the "
+        "units leak and the channel/queue wedges for the rest of the run.",
+    ),
+    Rule(
+        "RPR304",
+        "re-check wait conditions after wakeup",
+        "An `if` on shared state guarding a wait is checked once; by the "
+        "time the fiber wakes, another fiber may have falsified it. "
+        "Condition waits must loop (`while`), re-testing after every "
+        "wakeup.",
+    ),
+]
+
+RULES: List[Rule] = (LINT_RULES + GRAPH_RULES + SSDLET_LINT_RULES
+                     + RACE_LINT_RULES)
 
 _BY_ID: Dict[str, Rule] = {rule.id: rule for rule in RULES}
 

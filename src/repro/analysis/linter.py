@@ -23,7 +23,7 @@ import re
 import tokenize
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis.findings import Finding, RULES
+from repro.analysis.findings import Finding, RULES, rule_ids
 from repro.analysis.rules import check_module
 
 __all__ = [
@@ -31,12 +31,15 @@ __all__ = [
     "lint_paths",
     "iter_python_files",
     "parse_noqa",
+    "expand_select",
     "render_text",
     "render_json",
     "JSON_SCHEMA_VERSION",
 ]
 
-JSON_SCHEMA_VERSION = 1
+# v2: the RPR3xx interleaving rule family joined the catalogue (the "rules"
+# map gained entries; findings records are unchanged).
+JSON_SCHEMA_VERSION = 2
 
 _NOQA_RE = re.compile(
     r"#\s*repro:\s*noqa(?:\s+(?P<ids>RPR\d{3}(?:\s*,\s*RPR\d{3})*))?",
@@ -92,13 +95,39 @@ def lint_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding
     except SyntaxError as exc:
         return [Finding("RPR000", "syntax error: %s" % exc.msg, path,
                         exc.lineno or 0, exc.offset or 0)]
-    findings = check_module(tree, path)
+    # Imported here, not at module top: an eager import would place the
+    # races submodule in sys.modules before ``python -m
+    # repro.analysis.races`` executes it (duplicate module state + runpy
+    # warning).
+    from repro.analysis.races import check_races
+    findings = check_module(tree, path) + check_races(tree, path)
     findings = _apply_noqa(findings, parse_noqa(source))
     if select:
-        wanted = set(select)
+        wanted = expand_select(select)
         findings = [f for f in findings if f.rule in wanted]
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings
+
+
+def expand_select(select: Sequence[str]) -> Set[str]:
+    """Expand ``--select`` tokens into concrete rule IDs.
+
+    A token is either a full rule ID (``RPR301``) or a family prefix
+    (``RPR3``, ``RPR30``) matching every catalogued rule it prefixes.
+    Raises :class:`ValueError` on a token matching nothing — silently
+    selecting an empty set is how a CI gate stops gating.
+    """
+    known = rule_ids()
+    wanted: Set[str] = set()
+    for token in select:
+        matched = [rule for rule in known if rule == token
+                   or (len(token) < 6 and rule.startswith(token))]
+        if not matched:
+            raise ValueError(
+                "unknown rule or prefix %r (known: %s)"
+                % (token, ", ".join(known)))
+        wanted.update(matched)
+    return wanted
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterable[str]:

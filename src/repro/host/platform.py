@@ -46,7 +46,14 @@ class System:
             raise ValueError("need at least one SSD")
         # A shared simulator lets several Systems form one simulated world
         # (the storage nodes of a Scale-out cluster, Fig. 1(d)).
-        self.sim = sim if sim is not None else Simulator()
+        if sim is not None:
+            self.sim = sim
+        else:
+            # race_check=True opts this world into the interleaving
+            # sanitizer; None defers to the REPRO_RACE_CHECK env var.
+            self.sim = Simulator(
+                race_check=True if ssd_config is not None
+                and ssd_config.race_check else None)
         self.fabric = None
         if fabric_bytes_per_sec is not None:
             from repro.ssd.nvme import Fabric

@@ -16,6 +16,7 @@ locks.
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 __all__ = [
@@ -102,6 +103,8 @@ class Event:
             raise SimulationError("event already triggered")
         self._value = value
         self._scheduled = True
+        if self.sim.race is not None:
+            self.sim.race.on_write(self, "state")
         self.sim._schedule(self, 0)
         return self
 
@@ -113,6 +116,8 @@ class Event:
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
         self._scheduled = True
+        if self.sim.race is not None:
+            self.sim.race.on_write(self, "state")
         self.sim._schedule(self, 0)
         return self
 
@@ -125,6 +130,12 @@ class Event:
         if self._callbacks is None:
             callback(self)
         else:
+            if self.sim.race is not None:
+                # Registration order decides callback run order: ordered by
+                # construction (engine dispatch is serial), never a hazard,
+                # but two tied events registering on the same target pin
+                # the batch against perturbation.
+                self.sim.race.on_ordered(self, "callbacks")
             self._callbacks.append(callback)
 
     def _run_callbacks(self) -> None:
@@ -190,6 +201,11 @@ class Process(Event):
         A process that has not yet run (or is between resumes) is cancelled:
         the interrupt is delivered at its next scheduled resume.
         """
+        if self.sim.race is not None:
+            # Interrupting races with the process finishing: a tied entry
+            # that completes this fiber flips the outcome between Interrupt
+            # delivery and SimulationError, depending on pop order.
+            self.sim.race.on_read(self, "state")
         if self._scheduled:
             raise SimulationError("cannot interrupt a finished process")
         target = self._waiting_on
@@ -202,6 +218,12 @@ class Process(Event):
         # processed yet — a grant made in this very timestep would otherwise
         # be handed to a fiber that is no longer listening (the units would
         # leak); Resource/Store reclaim such grants at processing time.
+        if self.sim.race is not None:
+            # The PR 5 lost-interrupt bug lived exactly here: mutating a
+            # target that already triggered in this same timestep races with
+            # its dispatch (which consumes state and the callback list).
+            self.sim.race.on_write(target, "state")
+            self.sim.race.on_write(target, "callbacks")
         target.abandoned = True
         # An abandoned target that later *fails* has nobody left to receive
         # the exception; without defusing, the kernel would treat that as an
@@ -246,11 +268,15 @@ class Process(Event):
         except StopIteration as stop:
             self._value = stop.value
             self._scheduled = True
+            if self.sim.race is not None:
+                self.sim.race.on_write(self, "state")
             self.sim._schedule(self, 0)
             return
         except BaseException as exc:
             self._exception = exc
             self._scheduled = True
+            if self.sim.race is not None:
+                self.sim.race.on_write(self, "state")
             self.sim._schedule(self, 0)
             return
         if not isinstance(target, Event):
@@ -260,6 +286,8 @@ class Process(Event):
             )
             self._exception = error
             self._scheduled = True
+            if self.sim.race is not None:
+                self.sim.race.on_write(self, "state")
             self.sim._schedule(self, 0)
             return
         self._waiting_on = target
@@ -370,7 +398,7 @@ def all_of(sim: "Simulator", events: Iterable[Event]) -> Event:
 class Simulator:
     """The event loop: an integer-nanosecond clock over a binary heap."""
 
-    def __init__(self):
+    def __init__(self, race_check: Any = None):
         self._now = 0
         self._heap: List[Any] = []
         self._sequence = 0
@@ -383,6 +411,28 @@ class Simulator:
         # with a single ``sim.trace is not None`` check, so the disabled path
         # costs one attribute load and never touches simulated time.
         self.trace: Optional[Any] = None
+        # Interleaving sanitizer (repro.analysis.races.RaceMonitor).  Same
+        # contract as ``trace``: None means off, and every instrumented
+        # kernel mutation point guards with one ``sim.race is not None``
+        # check.  ``race_check`` may be None (consult REPRO_RACE_CHECK),
+        # False (off regardless), True ("on"), or "strict" (raise
+        # OrderingHazardError on the first conflicting batch).
+        self.race: Optional[Any] = None
+        mode = race_check
+        if mode is None:
+            raw = os.environ.get("REPRO_RACE_CHECK", "").strip().lower()
+            if raw in ("", "0", "false", "off", "no"):
+                mode = None
+            elif raw in ("strict", "raise"):
+                mode = "strict"
+            else:
+                mode = "on"
+        if mode:
+            # Imported lazily: repro.analysis pulls in the graph verifier,
+            # which imports this module — fine at runtime (we are fully
+            # initialized), a cycle at import time.
+            from repro.analysis.races import RaceMonitor
+            self.race = RaceMonitor(self, strict=(mode == "strict"))
 
     @property
     def now(self) -> int:
@@ -402,8 +452,13 @@ class Simulator:
     def _schedule(self, event: Event, delay_ns: int) -> None:
         # Tie-breaking is the monotonic sequence number: events scheduled for
         # the same instant run in schedule order, never in heap/hash order —
-        # this is what makes the event trace bit-reproducible.
+        # this is what makes the event trace bit-reproducible.  The race
+        # monitor's perturbation mode (repro.analysis.races) checks that
+        # claim: it reverses pop order inside provably order-free batches
+        # and requires a bit-identical trace.
         self._sequence += 1
+        if self.race is not None:
+            self.race.on_schedule(self._now + delay_ns)
         heapq.heappush(self._heap, (self._now + delay_ns, self._sequence, event))
 
     def event(self) -> Event:
@@ -462,6 +517,61 @@ class Simulator:
                 raise
             batch.clear()
 
+    def _run_monitored(self, heap: List[Any],
+                       sentinel: Optional[Event] = None,
+                       deadline: Optional[int] = None) -> None:
+        """Batched drain with explicit race-monitor batch boundaries.
+
+        Mirrors :meth:`_run_batched` (and the sentinel/deadline loops of
+        :meth:`run`), but tells the monitor where each same-timestamp batch
+        starts and which entry is dispatching, and — in perturbation mode —
+        reverses the pop order of batches the monitor's recorded plan marked
+        as provably order-free.  A batch the sentinel truncates is pinned:
+        its dispatched set depends on pop order, so reversing it could
+        change *which* events ran, not just their order.
+        """
+        race = self.race
+        pop = heapq.heappop
+        while heap:
+            if sentinel is not None and sentinel._processed:
+                return
+            when = heap[0][0]
+            if deadline is not None and when > deadline:
+                return
+            self._now = when
+            batch: List[Any] = []
+            while heap and heap[0][0] == when:
+                batch.append(pop(heap))
+            reverse = len(batch) > 1 and race.should_reverse()
+            if reverse:
+                batch.reverse()
+            race.begin_batch(when, len(batch), reverse)
+            index = 0
+            truncated = False
+            try:
+                while index < len(batch):
+                    if sentinel is not None and sentinel._processed:
+                        truncated = True
+                        break
+                    event = batch[index][2]
+                    index += 1
+                    self.events_processed += 1
+                    race.begin_entry(event)
+                    event._run_callbacks()
+            except BaseException:
+                for entry in batch[index:]:
+                    heapq.heappush(heap, entry)
+                # No end_batch: the partial batch's analysis would be
+                # misleading, and a strict-mode raise would mask the error.
+                raise
+            fired = sentinel is not None and sentinel._processed
+            race.end_batch(pinned=fired)
+            if truncated:
+                for entry in batch[index:]:
+                    heapq.heappush(heap, entry)
+            if fired:
+                return
+
     def run(self, until: Any = None) -> Any:
         """Run the event loop.
 
@@ -469,6 +579,8 @@ class Simulator:
         nanoseconds (run until the clock would pass it), or an
         :class:`Event` (run until it is processed; returns its value).
         """
+        if self.race is not None:
+            return self._run_with_monitor(until)
         if until is None:
             self._run_batched(self._heap)
             return None
@@ -502,5 +614,28 @@ class Simulator:
             self._now = when
             self.events_processed += 1
             event._run_callbacks()
+        self._now = deadline
+        return None
+
+    def _run_with_monitor(self, until: Any) -> Any:
+        """The three :meth:`run` modes, routed through the monitored drain."""
+        if until is None:
+            self._run_monitored(self._heap)
+            return None
+        if isinstance(until, Event):
+            sentinel = until
+            saved_defused = sentinel.defused
+            sentinel.defused = True  # run() surfaces the failure itself
+            self._run_monitored(self._heap, sentinel=sentinel)
+            if not sentinel._processed:
+                sentinel.defused = saved_defused
+                raise SimulationError(
+                    "run() ran out of events before %r triggered" % sentinel
+                )
+            return sentinel.value  # raises the original exception on failure
+        deadline = int(until)
+        if deadline < self._now:
+            raise ValueError("cannot run until the past")
+        self._run_monitored(self._heap, deadline=deadline)
         self._now = deadline
         return None

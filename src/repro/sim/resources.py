@@ -48,6 +48,11 @@ class Resource:
             raise ValueError(
                 "cannot request %d units of %d-capacity resource" % (units, self.capacity)
             )
+        if self.sim.race is not None:
+            # FIFO traffic: grant order among tied requesters is pinned by
+            # the engine's sequence numbers by design — ordered, not a
+            # hazard, but it pins the batch against perturbation.
+            self.sim.race.on_ordered(self, "queue")
         event = Event(self.sim)
         self._waiters.append((event, units))
         self._grant()
@@ -56,6 +61,8 @@ class Resource:
     def release(self, units: int = 1) -> None:
         if units < 1 or units > self._in_use:
             raise ValueError("release of %d units but only %d in use" % (units, self._in_use))
+        if self.sim.race is not None:
+            self.sim.race.on_ordered(self, "queue")
         self._account()
         self._in_use -= units
         self._grant()
@@ -129,6 +136,9 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        if self.sim.race is not None:
+            # FIFO hand-off: ordered by design (see Resource.request).
+            self.sim.race.on_ordered(self, "items")
         while self._getters:
             getter = self._getters.popleft()
             if not getter.abandoned:  # skip getters interrupted while queued
@@ -145,6 +155,8 @@ class Store:
             self.put(event._value)
 
     def get(self) -> Event:
+        if self.sim.race is not None:
+            self.sim.race.on_ordered(self, "items")
         event = Event(self.sim)
         if self._items:
             event.succeed(self._items.popleft())

@@ -68,6 +68,12 @@ class Channel:
         """
         if self.sim.trace is not None:
             return None
+        if self.sim.race is not None:
+            # The race monitor footprints per-event dispatch; a fused plan
+            # collapses ~6 events per op into one settle event the monitor
+            # cannot see into.  Sanitized runs therefore step per-event,
+            # like traced runs.
+            return None
         config = self.config
         page_bytes = config.physical_page_bytes
         for transfer_bytes in sizes:

@@ -49,8 +49,9 @@ from repro.testing.faults import FaultInjector, StormInjector
 
 __all__ = [
     "CaseResult", "run_case", "run_case_fastpath", "run_case_interleaved",
-    "run_case_resilient", "run_sweep", "run_fastpath_sweep",
-    "run_resilient_sweep", "replay", "replay_resilient",
+    "run_case_perturbed", "run_case_resilient", "run_sweep",
+    "run_fastpath_sweep", "run_perturbed_sweep", "run_resilient_sweep",
+    "replay", "replay_resilient",
     "summarize", "rows_match", "eval_expr", "reference_rows",
     "force_offload_config",
 ]
@@ -457,6 +458,50 @@ def run_case_fastpath(seed: int, faults: bool = True) -> CaseResult:
 def run_fastpath_sweep(seeds, faults: bool = True) -> List[CaseResult]:
     """One fast-vs-slow case per seed (failures carry their repro line)."""
     return [run_case_fastpath(seed, faults=faults) for seed in seeds]
+
+
+# ------------------------------------------------------------ perturbed arm
+def run_case_perturbed(seed: int, faults: bool = False) -> CaseResult:
+    """One case run under the interleaving sanitizer's perturbation mode.
+
+    The whole ``run_case(seed)`` workload executes twice — once recording
+    same-timestamp access footprints, once with pop order *reversed* inside
+    every provably order-free batch (:func:`repro.analysis.races.
+    check_workload`).  Any footprint conflict between tied events, or any
+    divergence of the trace digest or the case verdict under reversal, is a
+    ``mismatch``: the engine's "ties run in schedule order" contract held
+    only by accident.  ``fault_counters`` reports how hard the perturbation
+    actually bit (batches reversed) so sweeps can assert it engaged.
+    """
+    from repro.analysis.races import check_workload
+
+    line = strategies.repro_line(seed, faults)
+    report = check_workload(lambda: run_case(seed, faults=faults))
+    inner: CaseResult = report.result
+    counters = {
+        "batches": report.batches,
+        "reversible": report.reversible,
+        "reversed": report.reversed_batches,
+        "hazards": len(report.hazards),
+    }
+    if not report.clean:
+        detail = ("perturbed tie-breaking diverged: %s | %s"
+                  % ("; ".join(report.render().splitlines()), line))
+        return CaseResult(seed, faults, "mismatch", detail, line,
+                          inner.offloaded if inner else False, counters)
+    if inner.outcome != "match":
+        return CaseResult(seed, faults, inner.outcome,
+                          "under perturbation: %s" % inner.detail, line,
+                          inner.offloaded, counters)
+    return CaseResult(seed, faults, "match",
+                      "perturbed %d/%d order-free batches"
+                      % (report.reversed_batches, report.batches),
+                      line, inner.offloaded, counters)
+
+
+def run_perturbed_sweep(seeds, faults: bool = False) -> List[CaseResult]:
+    """One perturbed case per seed (failures carry their repro line)."""
+    return [run_case_perturbed(seed, faults=faults) for seed in seeds]
 
 
 # ------------------------------------------------------------ resilient arm

@@ -73,6 +73,36 @@ def test_select_limits_rules(dirty_tree, capsys):
     assert "RPR003" in out and "RPR001" not in out
 
 
+def test_prefix_select_expands_to_the_family(tmp_path, capsys):
+    (tmp_path / "fiber.py").write_text(textwrap.dedent("""\
+        def run(self, sim):
+            yield self.bus.request()
+            yield sim.timeout(10)
+            self.bus.release()
+    """))
+    assert main(["--strict", "--select", "RPR3", str(tmp_path)]) == 1
+    assert "RPR303" in capsys.readouterr().out
+
+
+def test_unknown_prefix_is_usage_error(dirty_tree, capsys):
+    assert main(["--select", "RPR9", str(dirty_tree)]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_prefix_and_exact_ids_mix(dirty_tree, capsys):
+    assert main(["--strict", "--select", "RPR001,RPR3", str(dirty_tree)]) == 1
+    out = capsys.readouterr().out
+    assert "RPR001" in out and "RPR003" not in out
+
+
+def test_expand_select_library_raises_instead_of_selecting_nothing():
+    from repro.analysis.linter import expand_select
+    with pytest.raises(ValueError):
+        expand_select(["RPR999"])
+    assert "RPR301" in expand_select(["RPR3"])
+    assert expand_select(["RPR301"]) == {"RPR301"}
+
+
 def test_json_output_schema(dirty_tree, capsys):
     assert main(["--json", str(dirty_tree)]) == 0
     payload = json.loads(capsys.readouterr().out)
@@ -85,6 +115,38 @@ def test_json_output_schema(dirty_tree, capsys):
     for finding in payload["findings"]:
         assert sorted(finding) == ["col", "line", "message", "path", "rule"]
     assert sorted(payload["rules"]) == rule_ids()
+
+
+def test_json_schema_version_covers_race_family(dirty_tree, capsys):
+    # v2: the RPR3xx family joined the catalogue.
+    assert JSON_SCHEMA_VERSION == 2
+    assert main(["--json", str(dirty_tree)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    for rule_id in ("RPR301", "RPR302", "RPR303", "RPR304"):
+        assert rule_id in payload["rules"]
+
+
+def test_json_findings_round_trip(tmp_path, capsys):
+    """A findings payload survives JSON serialization bit-for-bit."""
+    from repro.analysis.findings import Finding
+    from repro.analysis.linter import lint_paths
+
+    (tmp_path / "fiber.py").write_text(textwrap.dedent("""\
+        import time
+
+        def run(self, sim):
+            started = time.time()
+            yield self.bus.request()
+            yield sim.timeout(10)
+            self.bus.release()
+    """))
+    findings, _checked = lint_paths([str(tmp_path)])
+    assert {f.rule for f in findings} >= {"RPR001", "RPR303"}
+    assert main(["--json", str(tmp_path)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["schema_version"] == JSON_SCHEMA_VERSION
+    revived = [Finding(**record) for record in payload["findings"]]
+    assert revived == findings
 
 
 def test_list_rules_covers_catalogue(capsys):

@@ -1,0 +1,280 @@
+"""Static interleaving rules RPR301-RPR304 (repro.analysis.races)."""
+
+import ast
+import textwrap
+
+from repro.analysis.linter import lint_file
+from repro.analysis.races import check_races
+
+
+def findings_for(source):
+    tree = ast.parse(textwrap.dedent(source))
+    return check_races(tree, "case.py")
+
+
+def rules_for(source):
+    return [finding.rule for finding in findings_for(source)]
+
+
+# ---------------------------------------------------------------- RPR301
+def test_rpr301_flags_stale_read_modify_write():
+    rules = rules_for("""\
+        class Counter:
+            def run(self, sim):
+                count = self.count
+                yield sim.timeout(10)
+                self.count = count + 1
+    """)
+    assert rules == ["RPR301"]
+
+
+def test_rpr301_reports_the_shared_attribute_and_binding_line():
+    finding = findings_for("""\
+        class Counter:
+            def run(self, sim):
+                count = self.count
+                yield sim.timeout(10)
+                self.count = count + 1
+    """)[0]
+    assert "self.count" in finding.message
+    assert "line 3" in finding.message
+    assert finding.line == 5
+
+
+def test_rpr301_quiet_when_reread_after_yield():
+    rules = rules_for("""\
+        class Counter:
+            def run(self, sim):
+                count = self.count
+                yield sim.timeout(10)
+                count = self.count
+                self.count = count + 1
+    """)
+    assert rules == []
+
+
+def test_rpr301_quiet_without_intervening_yield():
+    rules = rules_for("""\
+        class Counter:
+            def run(self, sim):
+                count = self.count
+                self.count = count + 1
+                yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+def test_rpr301_quiet_on_direct_augmented_write():
+    # self.count += 1 has no stale local; it re-reads at the write site.
+    rules = rules_for("""\
+        class Counter:
+            def run(self, sim):
+                yield sim.timeout(10)
+                self.count += 1
+    """)
+    assert rules == []
+
+
+# ---------------------------------------------------------------- RPR302
+def test_rpr302_flags_mutation_after_put():
+    rules = rules_for("""\
+        def run(self, sim, queue):
+            packet = []
+            queue.put(packet)
+            packet.append(1)
+            yield sim.timeout(10)
+    """)
+    assert rules == ["RPR302"]
+
+
+def test_rpr302_flags_assignment_into_handed_off_object():
+    rules = rules_for("""\
+        def run(self, sim, queue):
+            packet = make_packet()
+            queue.put(packet)
+            packet.header = 1
+            yield sim.timeout(10)
+    """)
+    assert rules == ["RPR302"]
+
+
+def test_rpr302_quiet_when_rebound_before_mutation():
+    rules = rules_for("""\
+        def run(self, sim, queue):
+            packet = make_packet()
+            queue.put(packet)
+            packet = make_packet()
+            packet.append(1)
+            yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+def test_rpr302_quiet_when_mutated_before_put():
+    rules = rules_for("""\
+        def run(self, sim, queue):
+            packet = []
+            packet.append(1)
+            queue.put(packet)
+            yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+# ---------------------------------------------------------------- RPR303
+def test_rpr303_flags_acquire_without_finally():
+    rules = rules_for("""\
+        def run(self, sim):
+            yield self.bus.request()
+            yield sim.timeout(10)
+            self.bus.release()
+    """)
+    assert rules == ["RPR303"]
+
+
+def test_rpr303_flags_prebuilt_request_event():
+    rules = rules_for("""\
+        def run(self, sim):
+            grant = self.bus.request()
+            yield grant
+            yield sim.timeout(10)
+            self.bus.release()
+    """)
+    assert rules == ["RPR303"]
+
+
+def test_rpr303_quiet_with_try_finally():
+    rules = rules_for("""\
+        def run(self, sim):
+            yield self.bus.request()
+            try:
+                yield sim.timeout(10)
+            finally:
+                self.bus.release()
+    """)
+    assert rules == []
+
+
+def test_rpr303_quiet_when_released_before_next_wait():
+    rules = rules_for("""\
+        def run(self, sim):
+            yield self.bus.request()
+            self.bus.release()
+            yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+def test_rpr303_quiet_on_acquire_never_released_here():
+    # Hold-until-death fibers (release elsewhere) are out of scope: the
+    # rule needs a release in the same function to know who owns the hold.
+    rules = rules_for("""\
+        def run(self, sim):
+            yield self.bus.request()
+            yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+# ---------------------------------------------------------------- RPR304
+def test_rpr304_flags_if_guarded_condition_wait():
+    rules = rules_for("""\
+        class Pump:
+            def run(self, sim):
+                if self.queue_empty:
+                    yield self.wakeup.wait()
+                    self.queue_empty = False
+                yield sim.timeout(10)
+    """)
+    assert rules == ["RPR304"]
+
+
+def test_rpr304_flags_wait_on_prebuilt_event():
+    rules = rules_for("""\
+        class Pump:
+            def run(self, sim):
+                if self.idle:
+                    yield self.wakeup
+                    self.drain(self.idle)
+    """)
+    assert rules == ["RPR304"]
+
+
+def test_rpr304_quiet_with_while_loop():
+    rules = rules_for("""\
+        class Pump:
+            def run(self, sim):
+                while self.queue_empty:
+                    yield self.wakeup.wait()
+                self.queue_empty = False
+    """)
+    assert rules == []
+
+
+def test_rpr304_quiet_when_wait_is_a_plain_timer():
+    # A timeout always fires; there is no condition to re-check.
+    rules = rules_for("""\
+        class Pump:
+            def run(self, sim):
+                if self.queue_empty:
+                    yield sim.timeout(10)
+                    self.queue_empty = False
+    """)
+    assert rules == []
+
+
+def test_rpr304_quiet_when_state_unused_after_wait():
+    rules = rules_for("""\
+        class Pump:
+            def run(self, sim):
+                if self.queue_empty:
+                    yield self.wakeup.wait()
+                yield sim.timeout(10)
+    """)
+    assert rules == []
+
+
+# ------------------------------------------------------------- integration
+def test_rules_only_apply_to_generators():
+    # Plain functions are not fibers: no yield boundary, no interleaving.
+    rules = rules_for("""\
+        class Counter:
+            def bump(self):
+                count = self.count
+                self.count = count + 1
+    """)
+    assert rules == []
+
+
+def test_noqa_waives_race_rules(tmp_path):
+    path = tmp_path / "waived.py"
+    path.write_text(textwrap.dedent("""\
+        def run(self, sim):
+            yield self.bus.request()
+            yield sim.timeout(10)  # repro: noqa RPR303 -- never interrupted
+            self.bus.release()
+    """))
+    # The finding anchors at the acquire; waive there instead.
+    assert [f.rule for f in lint_file(str(path))] == ["RPR303"]
+    path.write_text(textwrap.dedent("""\
+        def run(self, sim):
+            yield self.bus.request()  # repro: noqa RPR303 -- never interrupted
+            yield sim.timeout(10)
+            self.bus.release()
+    """))
+    assert lint_file(str(path)) == []
+
+
+def test_findings_carry_provenance_and_json_parity():
+    finding = findings_for("""\
+        def run(self, sim):
+            yield self.bus.request()
+            yield sim.timeout(10)
+            self.bus.release()
+    """)[0]
+    assert finding.path == "case.py"
+    assert finding.line == 2
+    payload = finding.to_json()
+    assert payload["rule"] == "RPR303"
+    assert payload["line"] == 2
+    assert "case.py:2:" in finding.render()

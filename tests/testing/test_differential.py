@@ -13,6 +13,7 @@ from repro.testing.differential import (
     rows_match,
     run_case,
     run_case_interleaved,
+    run_case_perturbed,
     run_sweep,
     summarize,
 )
@@ -85,6 +86,18 @@ def test_interleaving_does_not_change_results():
     companions = {r.detail.split()[-1] for r in results}
     assert companions == {"string_search", "pointer_chase"}
     assert any(r.offloaded for r in results)
+
+
+def test_perturbed_tie_breaking_does_not_change_results():
+    """The interleaving-sanitizer arm: each case runs twice, the replay
+    reversing pop order inside every provably order-free same-timestamp
+    batch.  Every case must stay hazard-free and bit-identical, and the
+    perturbation must actually engage (batches reversed) somewhere in the
+    window — an arm that never reverses anything gates nothing."""
+    results = [run_case_perturbed(seed) for seed in range(4)]
+    assert [r.outcome for r in results] == ["match"] * len(results)
+    assert sum(r.fault_counters["reversed"] for r in results) > 0
+    assert all("REPRO:" in r.repro for r in results)
 
 
 # ------------------------------------------------------------- planted bug
