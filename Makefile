@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench serve lint typecheck trace resilience sim-throughput race
+.PHONY: test test-fast test-faults bench serve lint typecheck trace attribute resilience sim-throughput race
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -52,6 +52,15 @@ trace:
 	PYTHONPATH=src $(PYTHON) -m repro.instrument --workload $(WORKLOAD) \
 		--trace trace-$(WORKLOAD).json --metrics metrics-$(WORKLOAD).json \
 		--breakdown
+
+# Per-query tail-latency attribution (exact ns-integer decomposition) with
+# the slowest query's critical path.  Override with
+# `make attribute ATTR_WORKLOAD=serve_mix`.
+ATTR_WORKLOAD ?= read_latency
+attribute:
+	PYTHONPATH=src $(PYTHON) -m repro.instrument attribute \
+		--workload $(ATTR_WORKLOAD) --critical-path \
+		--json attribution-$(ATTR_WORKLOAD).json
 
 # Determinism/unit-discipline lint suite (exit 1 on any finding).
 lint:

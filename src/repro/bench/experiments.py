@@ -156,9 +156,14 @@ def exp_table2_port_latency(samples: int = 24) -> ExperimentResult:
 
 
 # ----------------------------------------------------------------- Table III
-def exp_table3_read_latency(samples: int = 32) -> ExperimentResult:
-    """4 KiB read latency, Conv (pread) vs Biscuit (internal read)."""
-    system = System()
+def exp_table3_read_latency(samples: int = 32, sim=None,
+                            ssd_config=None) -> ExperimentResult:
+    """4 KiB read latency, Conv (pread) vs Biscuit (internal read).
+
+    ``sim``/``ssd_config`` let the trace-determinism matrix run the same
+    experiment with an event bus attached and/or the fast path disabled.
+    """
+    system = System(ssd_config=ssd_config, sim=sim)
     system.fs.install_synthetic("/bench/latency.dat", 64 * MIB)
     conv_handle = system.open_host("/bench/latency.dat")
     internal_handle = system.open_internal("/bench/latency.dat")
@@ -214,11 +219,16 @@ def _bandwidth(system: System, path: str, request_bytes: int, total_bytes: int,
 
 
 def exp_fig7_read_bandwidth(
-    sizes: Optional[List[int]] = None, sweep_bytes: int = 256 * MIB
+    sizes: Optional[List[int]] = None, sweep_bytes: int = 256 * MIB,
+    sim=None, ssd_config=None,
 ) -> ExperimentResult:
-    """Sync and async read bandwidth vs request size (paper Fig. 7)."""
+    """Sync and async read bandwidth vs request size (paper Fig. 7).
+
+    ``sim``/``ssd_config`` let the trace-determinism matrix run the same
+    sweep with an event bus attached and/or the fast path disabled.
+    """
     sizes = sizes or [4 * KIB, 16 * KIB, 64 * KIB, 256 * KIB, 1 * MIB, 4 * MIB]
-    system = System()
+    system = System(ssd_config=ssd_config, sim=sim)
     system.fs.install_synthetic("/bench/bw.dat", 512 * MIB)
     rows = []
     metrics: Dict[str, float] = {}

@@ -97,10 +97,26 @@ def _quantile_us(latencies_us: List[float], quantile: float) -> float:
 
 
 def run_resilience_bench(num_queries: int = 24, num_rows: int = 12_000,
-                         seed: int = 2016) -> Dict[str, Any]:
-    """One seeded storm run; returns the flat, JSON-ready report dict."""
+                         seed: int = 2016,
+                         trace: bool = False) -> Dict[str, Any]:
+    """One seeded storm run; returns the flat, JSON-ready report dict.
+
+    ``trace=True`` attaches an event bus, scopes every query
+    (``storm/q<i>``) and appends the per-component latency attribution to
+    the report.  Tracing is pure observation (the fused fast path de-gates
+    itself with bit-identical timing), so every pre-existing report value
+    is unchanged by it.
+    """
     rng = random.Random(seed)
-    system = System(num_ssds=2)
+    bus = None
+    if trace:
+        from repro.instrument.events import EventBus
+        from repro.sim.engine import Simulator
+        sim = Simulator()
+        bus = EventBus(sim)
+        system = System(num_ssds=2, sim=sim)
+    else:
+        system = System(num_ssds=2)
     databases = []
     rows = _table_rows(num_rows, seed)
     for fs in system.filesystems:
@@ -142,7 +158,7 @@ def run_resilience_bench(num_queries: int = 24, num_rows: int = 12_000,
 
     def workload():
         nonlocal faulted_queries, wrong_results
-        for column, modulus, residue in queries:
+        for index, (column, modulus, residue) in enumerate(queries):
             predicate = make_predicate(column, modulus, residue)
             spec = ScanSpec(
                 path=storage.path,
@@ -158,7 +174,11 @@ def run_resilience_bench(num_queries: int = 24, num_rows: int = 12_000,
             faults_before = (injector.faults_injected
                              + replica_injector.faults_injected)
             start_ns = system.sim.now
-            got = yield from driver.scan(spec, primary=0)
+            if bus is not None:
+                with bus.scope("storm/q%d" % index):
+                    got = yield from driver.scan(spec, primary=0)
+            else:
+                got = yield from driver.scan(spec, primary=0)
             latencies_us.append((system.sim.now - start_ns) / 1000.0)
             faults_after = (injector.faults_injected
                             + replica_injector.faults_injected)
@@ -189,6 +209,14 @@ def run_resilience_bench(num_queries: int = 24, num_rows: int = 12_000,
         report["primary_%s" % key] = value
     for key, value in sorted(replica_injector.counters().items()):
         report["replica_%s" % key] = value
+    if bus is not None:
+        from repro.instrument.causal import COMPONENTS, attribute
+        attribution = attribute(bus.events)
+        for name in COMPONENTS + ("end_to_end",):
+            report["attr_mean_%s_us" % name] = round(
+                attribution.mean[name] / 1000.0, 1)
+            report["attr_p99_%s_us" % name] = round(
+                attribution.percentiles["p99"][name] / 1000.0, 1)
     return report
 
 
@@ -202,7 +230,7 @@ def write_bench_json(report: Dict[str, Any], path: str = BENCH_JSON) -> str:
 
 def exp_resilience() -> ExperimentResult:
     """The ``python -m repro.bench resilience`` entry point."""
-    report = run_resilience_bench()
+    report = run_resilience_bench(trace=True)
     path = write_bench_json(report)
     headers = ["metric", "value"]
     shown = [
@@ -212,6 +240,8 @@ def exp_resilience() -> ExperimentResult:
         "driver_hedges_fired", "driver_hedge_wins", "driver_crashes_seen",
         "primary_crashes_injected", "primary_uncorrectable_injected",
         "primary_ecc_injected", "primary_stalls_injected",
+        "attr_p99_ecc_retry_us", "attr_p99_fault_recovery_us",
+        "attr_p99_hedge_wait_us", "attr_p99_nand_busy_us",
     ]
     table_rows = [[name, report[name]] for name in shown]
     metrics = {key: float(value) for key, value in report.items()

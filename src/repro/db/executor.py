@@ -162,6 +162,8 @@ class Engine:
         # Whole-table decoded-page cache: value-level only (saves wall-clock
         # re-decoding; simulated timing is charged regardless).
         self._decoded: Dict[str, List[List[tuple]]] = {}
+        # Monotone query ordinal (trace scopes: "db/q<N>").
+        self.query_seq = 0
         # Per-query statistics (reset with begin_query()).
         self.host_pages_read = 0
         self.ndp_result_bytes = 0
@@ -175,6 +177,7 @@ class Engine:
     # -------------------------------------------------------------- lifecycle
     def begin_query(self, cold: bool = True) -> None:
         """Reset per-query statistics (and optionally the buffer pool)."""
+        self.query_seq += 1
         self.host_pages_read = 0
         self.ndp_result_bytes = 0
         self.ndp_scans = 0

@@ -558,7 +558,12 @@ def run_sql(engine: Engine, text: str, cold: bool = True):
     engine.begin_query(cold=cold)
     system = engine.system
     start = system.sim.now_s
-    rel = system.run_fiber(sql_query(engine, text), name="sql")
+    trace = system.sim.trace
+    if trace is not None:
+        with trace.scope("db/q%d" % engine.query_seq):
+            rel = system.run_fiber(sql_query(engine, text), name="sql")
+    else:
+        rel = system.run_fiber(sql_query(engine, text), name="sql")
     return rel, system.sim.now_s - start
 
 

@@ -59,9 +59,14 @@ class HostIO:
             trace.instant("nvme", "submit", self.trace_track,
                           cmd=cmd_id, pages=len(lpns))
         yield from self._driver_work(submit_us, "submit")
+        slot_wait_ns = self.sim.now if trace is not None else 0
         yield from self.device.interface.acquire_slot()
         try:
             if trace is not None:
+                if self.sim.now > slot_wait_ns:
+                    # Host-side queueing: the submission queue was full.
+                    trace.complete("nvme", "slot-wait", self.trace_track,
+                                   slot_wait_ns, cmd=cmd_id)
                 trace.instant("nvme", "fetch", self.trace_track, cmd=cmd_id)
                 trace.instant("nvme", "execute", self.trace_track, cmd=cmd_id)
             yield from self.device.host_read(list(lpns))
@@ -92,9 +97,13 @@ class HostIO:
             trace.instant("nvme", "submit", self.trace_track,
                           cmd=cmd_id, pages=len(lpns))
         yield from self._driver_work(submit_us, "submit")
+        slot_wait_ns = self.sim.now if trace is not None else 0
         yield from self.device.interface.acquire_slot()
         try:
             if trace is not None:
+                if self.sim.now > slot_wait_ns:
+                    trace.complete("nvme", "slot-wait", self.trace_track,
+                                   slot_wait_ns, cmd=cmd_id)
                 trace.instant("nvme", "fetch", self.trace_track, cmd=cmd_id)
                 trace.instant("nvme", "execute", self.trace_track, cmd=cmd_id)
             yield from self.device.host_write(list(lpns))

@@ -71,6 +71,9 @@ class System:
         self.config = self.device.config
         self.filesystems = [FileSystem(device) for device in self.devices]
         self.fs = self.filesystems[0]
+        if self.sim.race is not None:
+            # Sanitizer scoreboard lands in the same sidecar snapshot.
+            self.sim.race.bind_registry(self.metrics)
         self.cpu = HostCPU(self.sim, cores=host_cores)
         self.ios = [HostIO(self.sim, self.cpu, device) for device in self.devices]
         for index, io in enumerate(self.ios):

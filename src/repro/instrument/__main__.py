@@ -33,6 +33,13 @@ from repro.sim.units import MIB
 __all__ = ["main", "WORKLOADS"]
 
 
+def _scope(system: System, qid: str):
+    """The bus's causal scope when tracing is on; a no-op otherwise."""
+    from contextlib import nullcontext
+    trace = system.sim.trace
+    return trace.scope(qid) if trace is not None else nullcontext()
+
+
 def _run_string_search(system: System) -> Dict[str, float]:
     """Table V shape: Conv grep vs a matcher-driven Searcher pipeline."""
     from repro.apps.string_search import (
@@ -41,28 +48,39 @@ def _run_string_search(system: System) -> Dict[str, float]:
     path = "/data/weblog.log"
     keyword = "Googlebot"
     install_weblog_analytic(system, path, 8 * MIB, keyword)
-    _conv_count, conv_s = run_conv_search(system, path, keyword)
-    _biscuit_count, biscuit_s = run_biscuit_search(system, path, keyword)
+    with _scope(system, "search/conv"):
+        _conv_count, conv_s = run_conv_search(system, path, keyword)
+    with _scope(system, "search/biscuit"):
+        _biscuit_count, biscuit_s = run_biscuit_search(system, path, keyword)
     return {"conv_s": conv_s, "biscuit_s": biscuit_s}
 
 
 def _run_read_latency(system: System, samples: int = 32) -> Dict[str, float]:
-    """Table III shape: serial 4 KiB reads, Conv (pread) vs internal."""
-    system.fs.install_synthetic("/bench/latency.dat", 64 * MIB)
+    """Table III shape: serial 4 KiB reads, Conv (pread) vs internal.
 
-    def measure(handle) -> float:
+    With tracing on, every read is its own query scope ("table3/conv-q0"
+    ...), so the attribution report can decompose each one exactly.
+    """
+    system.fs.install_synthetic("/bench/latency.dat", 64 * MIB)
+    trace = system.sim.trace
+
+    def measure(handle, side: str) -> float:
         def program() -> Generator:
             total_ns = 0
             for index in range(samples):
                 start_ns = system.sim.now
-                yield from handle.read_timing_only(index * 4096, 4096)
+                if trace is not None:
+                    with trace.scope("table3/%s-q%d" % (side, index)):
+                        yield from handle.read_timing_only(index * 4096, 4096)
+                else:
+                    yield from handle.read_timing_only(index * 4096, 4096)
                 total_ns += system.sim.now - start_ns
             return total_ns / samples / 1e3
 
         return system.run_fiber(program())
 
-    conv_read_us = measure(system.open_host("/bench/latency.dat"))
-    biscuit_read_us = measure(system.open_internal("/bench/latency.dat"))
+    conv_read_us = measure(system.open_host("/bench/latency.dat"), "conv")
+    biscuit_read_us = measure(system.open_internal("/bench/latency.dat"), "int")
     return {"conv_read_us": conv_read_us, "biscuit_read_us": biscuit_read_us}
 
 
@@ -72,8 +90,10 @@ def _run_pointer_chase(system: System) -> Dict[str, float]:
         build_exact_graph, run_biscuit, run_conv,
     )
     graph = build_exact_graph(system, "/data/graph.bin", num_nodes=256)
-    _finals, conv_s = run_conv(system, graph, num_walks=8, hops=4)
-    _finals, biscuit_s = run_biscuit(system, graph, num_walks=8, hops=4)
+    with _scope(system, "chase/conv"):
+        _finals, conv_s = run_conv(system, graph, num_walks=8, hops=4)
+    with _scope(system, "chase/biscuit"):
+        _finals, biscuit_s = run_biscuit(system, graph, num_walks=8, hops=4)
     return {"conv_s": conv_s, "biscuit_s": biscuit_s}
 
 
@@ -87,7 +107,59 @@ WORKLOADS: Dict[str, Tuple[Callable[[System], Dict[str, float]], str]] = {
 }
 
 
+def attribute_main(argv) -> int:
+    """The ``attribute`` subcommand: per-query tail-latency decomposition."""
+    from repro.instrument.causal import attribute, critical_path, group_queries
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.instrument attribute",
+        description="Run a workload traced and decompose every query's "
+                    "latency into additive components (exact, ns-integer).",
+    )
+    parser.add_argument("--workload", default="read_latency",
+                        choices=sorted(WORKLOADS) + ["serve_mix"],
+                        help="workload to run (default: read_latency)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="write the attribution report as canonical JSON")
+    parser.add_argument("--critical-path", action="store_true",
+                        help="print the slowest query's critical path")
+    args = parser.parse_args(argv)
+
+    if args.workload == "serve_mix":
+        from repro.serve.mixes import run_mix
+        result = run_mix("smoke", trace=True)
+        bus = result.bus
+    else:
+        sim = Simulator()
+        bus = EventBus(sim)
+        system = System(sim=sim)
+        runner, _description = WORKLOADS[args.workload]
+        runner(system)
+
+    report = attribute(bus.events)
+    sys.stdout.write(report.render())
+    if args.critical_path and report.queries:
+        slowest = max(report.queries,
+                      key=lambda row: (row["end_to_end"], row["qid"]))
+        trace = next(t for t in group_queries(bus.events)
+                     if t.qid == slowest["qid"])
+        print("\ncritical path of %s (%.1f us):"
+              % (trace.qid, trace.latency_ns / 1000.0))
+        for step in critical_path(trace):
+            print("  %10d +%-8d %s/%s on %s"
+                  % (step.ts_ns, step.dur_ns, step.cat, step.name, step.track))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        print("attribution written to %s" % args.json)
+    return 0
+
+
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "attribute":
+        return attribute_main(list(argv[1:]))
     parser = argparse.ArgumentParser(
         prog="python -m repro.instrument",
         description="Run a bench workload with stack-wide tracing enabled.",

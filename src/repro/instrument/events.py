@@ -36,11 +36,35 @@ Naming conventions (see DESIGN.md "Event taxonomy"):
 from __future__ import annotations
 
 import itertools
+from contextlib import contextmanager
 from typing import Any, Dict, List, NamedTuple, Optional
 
 from repro.sim.engine import Simulator
 
-__all__ = ["TraceEvent", "EventBus"]
+__all__ = ["TraceEvent", "TraceContext", "EventBus"]
+
+
+class TraceContext(NamedTuple):
+    """Request identity carried through every layer (see DESIGN.md).
+
+    ``qid`` is a slash-separated query/job path ("serve/tenantA/j3",
+    "table3/q7"); causal children (hedge legs, retries) extend it with a
+    ``+`` segment ("storm/q3+hedge0"), so the originating request is always
+    ``qid.split("+", 1)[0]``.  ``tenant`` is the owning tenant ("" when the
+    workload is single-tenant).
+    """
+
+    qid: str
+    tenant: str = ""
+
+    @property
+    def root(self) -> str:
+        """The originating query id (child-scope suffixes stripped)."""
+        return self.qid.split("+", 1)[0]
+
+    def child(self, label: str) -> "TraceContext":
+        """A causal child of this context (hedge leg, retry attempt...)."""
+        return TraceContext(self.qid + "+" + label, self.tenant)
 
 
 class TraceEvent(NamedTuple):
@@ -75,6 +99,14 @@ class EventBus:
         self.events: List[TraceEvent] = []
         self._ids = itertools.count(1)
         self._device_scopes: List[str] = []
+        #: The active causal context.  The engine restores it from the
+        #: resumed fiber's ``ctx`` slot before each resume, so emissions are
+        #: tagged with the request they serve regardless of interleaving.
+        self.ctx: Optional[TraceContext] = None
+        #: The fiber currently being driven (engine-maintained); scope()
+        #: writes through to it so a context opened inside a fiber survives
+        #: across yields.
+        self._current = None
         sim.trace = self
 
     # ------------------------------------------------------------- lifecycle
@@ -100,6 +132,11 @@ class EventBus:
 
     def instant(self, cat: str, name: str, track: str, **args: Any) -> None:
         """Record a point occurrence at the current simulated time."""
+        ctx = self.ctx
+        if ctx is not None:
+            args["q"] = ctx.qid
+            if ctx.tenant:
+                args["tn"] = ctx.tenant
         self.events.append(TraceEvent(
             self.sim.now, None, cat, name, track, args or None))
 
@@ -110,9 +147,58 @@ class EventBus:
         Call at the *end* of the work, passing the start timestamp captured
         before it (the one-call form avoids begin/end pairing state).
         """
+        ctx = self.ctx
+        if ctx is not None:
+            args["q"] = ctx.qid
+            if ctx.tenant:
+                args["tn"] = ctx.tenant
         now = self.sim.now
         self.events.append(TraceEvent(
             start_ns, now - start_ns, cat, name, track, args or None))
+
+    # --------------------------------------------------------------- contexts
+    @contextmanager
+    def scope(self, qid: str, tenant: str = ""):
+        """Activate a causal context for the dynamic extent of the block.
+
+        Inside a fiber, the context also binds to the fiber itself, so it
+        survives across yields (the engine restores the fiber's context on
+        every resume) and is inherited by any fibers spawned inside the
+        block.  Contexts nest; the previous one is restored on exit.  Roots
+        must not contain ``+`` (reserved for child-scope suffixes).
+        """
+        ctx = TraceContext(qid, tenant)
+        previous, self.ctx = self.ctx, ctx
+        fiber = self._current
+        fiber_previous = None
+        if fiber is not None:
+            fiber_previous, fiber.ctx = fiber.ctx, ctx
+        try:
+            yield ctx
+        finally:
+            self.ctx = previous
+            if fiber is not None:
+                fiber.ctx = fiber_previous
+
+    @contextmanager
+    def child_scope(self, label: str):
+        """Activate a causal child of the current context (no-op without one)."""
+        ctx = self.ctx
+        if ctx is None:
+            yield None
+            return
+        child = ctx.child(label)
+        previous, self.ctx = self.ctx, child
+        fiber = self._current
+        fiber_previous = None
+        if fiber is not None:
+            fiber_previous, fiber.ctx = fiber.ctx, child
+        try:
+            yield child
+        finally:
+            self.ctx = previous
+            if fiber is not None:
+                fiber.ctx = fiber_previous
 
     # --------------------------------------------------------------- scoping
     def register_device(self) -> str:

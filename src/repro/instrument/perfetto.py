@@ -33,6 +33,7 @@ def _split_track(track: str) -> Tuple[str, str]:
 
 def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
     """Build the Chrome trace-event object for an event stream."""
+    events = list(events)
     # pid/tid assignment in first-appearance order.
     pids: Dict[str, int] = {}
     tids: Dict[Tuple[str, str], int] = {}
@@ -67,6 +68,43 @@ def chrome_trace(events: Iterable[TraceEvent]) -> Dict[str, Any]:
         if event.args:
             record["args"] = event.args
         records.append(record)
+    # Flow events bind every span of one query root ("q" arg, child-scope
+    # suffix stripped) into a followable arrow chain in the Perfetto UI:
+    # one flow id per root, assigned in first-appearance order.
+    flow_members: Dict[str, List[Dict[str, Any]]] = {}
+    flow_order: List[str] = []
+    for record, event in zip(records, events):
+        if event.dur_ns is None or not event.args:
+            continue
+        qid = event.args.get("q")
+        if qid is None:
+            continue
+        root = qid.split("+", 1)[0]
+        if root not in flow_members:
+            flow_order.append(root)
+            flow_members[root] = []
+        flow_members[root].append(record)
+    flows: List[Dict[str, Any]] = []
+    for flow_id, root in enumerate(flow_order, start=1):
+        members = flow_members[root]
+        if len(members) < 2:
+            continue
+        for position, record in enumerate(members):
+            if position == 0:
+                phase = "s"
+            elif position == len(members) - 1:
+                phase = "f"
+            else:
+                phase = "t"
+            flow: Dict[str, Any] = {
+                "name": root, "cat": "flow", "ph": phase, "id": flow_id,
+                "pid": record["pid"], "tid": record["tid"],
+                "ts": record["ts"],
+            }
+            if phase != "s":
+                flow["bp"] = "e"  # bind to the enclosing slice
+            flows.append(flow)
+    records.extend(flows)
     metadata: List[Dict[str, Any]] = []
     for process, pid in pids.items():
         metadata.append({

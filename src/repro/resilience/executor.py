@@ -33,6 +33,7 @@ from repro.core import Application, DeviceFile, Packet, SSD, SSDLetProxy
 from repro.core.errors import DeviceCrashedError, DeviceError
 from repro.core.module import write_module_image
 from repro.db.ndp import MODULE_IMAGE_PATH, NDP_MODULE
+from repro.instrument.metrics import MetricsRegistry, registry_counter
 from repro.resilience.checkpoint import ScanCheckpoint
 from repro.resilience.hedge import HedgePolicy
 from repro.resilience.recovery import RecoveryTracker
@@ -80,27 +81,38 @@ class ScanSpec:
 
 
 class ResilienceStats:
-    """The recovery scoreboard one driver accumulates across scans."""
+    """The recovery scoreboard one driver accumulates across scans.
 
-    def __init__(self) -> None:
-        self.scans = 0
-        self.retries = 0
-        self.resumes = 0  # attempts that started past a range's first page
-        self.failovers = 0  # retries moved to a different device
-        self.device_errors = 0
-        self.crashes_seen = 0
-        self.gave_up = 0
+    The counters live in a :class:`~repro.instrument.metrics.MetricsRegistry`
+    under ``resilience.*`` (the system-wide one when the driver passes it),
+    so metrics sidecars carry the recovery picture; the named attributes
+    stay as delegating properties so call sites keep ``stats.retries += 1``.
+    """
+
+    _FIELDS = ("scans", "retries", "resumes", "failovers", "device_errors",
+               "crashes_seen", "gave_up")
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "resilience") -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.prefix = prefix
+        self._counters = {
+            field: self.registry.counter("%s.%s" % (prefix, field))
+            for field in self._FIELDS
+        }
+
+    scans = registry_counter("scans")
+    retries = registry_counter("retries")
+    #: Attempts that started past a range's first page.
+    resumes = registry_counter("resumes")
+    #: Retries moved to a different device.
+    failovers = registry_counter("failovers")
+    device_errors = registry_counter("device_errors")
+    crashes_seen = registry_counter("crashes_seen")
+    gave_up = registry_counter("gave_up")
 
     def as_dict(self) -> Dict[str, int]:
-        return {
-            "scans": self.scans,
-            "retries": self.retries,
-            "resumes": self.resumes,
-            "failovers": self.failovers,
-            "device_errors": self.device_errors,
-            "crashes_seen": self.crashes_seen,
-            "gave_up": self.gave_up,
-        }
+        return {field: self._counters[field].value for field in self._FIELDS}
 
 
 class _AttemptFailed(Exception):
@@ -122,6 +134,7 @@ class ResilientScanDriver:
         policy: Optional[RetryPolicy] = None,
         hedge: Optional[HedgePolicy] = None,
         recovery: Optional[RecoveryTracker] = None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.system = system
         self.devices = (list(devices) if devices is not None
@@ -131,7 +144,16 @@ class ResilientScanDriver:
         self.policy = policy or RetryPolicy()
         self.hedge = hedge
         self.recovery = recovery
-        self.stats = ResilienceStats()
+        # Counters land in the system-wide registry (metrics sidecars) by
+        # default; pass a private registry to keep a driver's scoreboard
+        # separate.
+        if registry is None:
+            registry = system.metrics
+        self.stats = ResilienceStats(registry)
+        if hedge is not None:
+            hedge.bind_registry(registry)
+        if recovery is not None:
+            recovery.bind_registry(registry)
         self._ssds: Dict[int, SSD] = {}
         self._mids: Dict[int, int] = {}
 
@@ -243,11 +265,18 @@ class ResilientScanDriver:
         interrupted — mid-I/O if need be.
         """
         sim = self.system.sim
+        trace = sim.trace
         start_ns = sim.now
         primary_trial = base.clone()
-        primary_leg = sim.process(
-            self._guarded_attempt(spec, device, primary_trial),
-            name="hedge-primary-d%d" % device)
+        if trace is not None:
+            with trace.child_scope("primary-d%d" % device):
+                primary_leg = sim.process(
+                    self._guarded_attempt(spec, device, primary_trial),
+                    name="hedge-primary-d%d" % device)
+        else:
+            primary_leg = sim.process(
+                self._guarded_attempt(spec, device, primary_trial),
+                name="hedge-primary-d%d" % device)
         primary_leg.defused = True
         deadline = sim.timeout(us_to_ns(self.hedge.deadline_us()))
         yield any_of(sim, [primary_leg, deadline])
@@ -260,11 +289,21 @@ class ResilientScanDriver:
             raise _AttemptFailed(error, primary_trial)
         # The primary outlived its deadline: fire the backup leg.
         self.hedge.hedges_fired += 1
+        if trace is not None:
+            # The deadline window the scan sat armed but unhedged.
+            trace.complete("resil", "hedge-wait", "host/resil", start_ns,
+                           device=device)
         hedge_device = self._next_device(device)
         hedge_trial = base.clone()
-        hedge_leg = sim.process(
-            self._guarded_attempt(spec, hedge_device, hedge_trial),
-            name="hedge-backup-d%d" % hedge_device)
+        if trace is not None:
+            with trace.child_scope("hedge-d%d" % hedge_device):
+                hedge_leg = sim.process(
+                    self._guarded_attempt(spec, hedge_device, hedge_trial),
+                    name="hedge-backup-d%d" % hedge_device)
+        else:
+            hedge_leg = sim.process(
+                self._guarded_attempt(spec, hedge_device, hedge_trial),
+                name="hedge-backup-d%d" % hedge_device)
         hedge_leg.defused = True
         first = yield any_of(sim, [primary_leg, hedge_leg])
         del first  # winner identified by inspecting the legs (deterministic)
@@ -310,6 +349,8 @@ class ResilientScanDriver:
         exhausted (``RetryPolicy.retry_limit`` failed attempts).
         """
         sim = self.system.sim
+        trace = sim.trace
+        scan_start_ns = sim.now if trace is not None else 0
         self.stats.scans += 1
         ckpt = ScanCheckpoint.for_pages(spec.num_pages, spec.workers)
         device = primary if primary is not None else self.devices[0]
@@ -346,7 +387,14 @@ class ResilientScanDriver:
                 if retry_device != device:
                     self.stats.failovers += 1
                     device = retry_device
+                backoff_start_ns = sim.now if trace is not None else 0
                 yield sim.timeout(self.policy.backoff_ns(failures))
+                if trace is not None:
+                    trace.complete("resil", "backoff", "host/resil",
+                                   backoff_start_ns, attempt=failures)
+        if trace is not None:
+            trace.complete("resil", "scan", "host/resil", scan_start_ns,
+                           pages=spec.num_pages)
         return ckpt.collect()
 
     def counters(self) -> Dict[str, int]:

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import List
 
+from repro.instrument.metrics import Counter, registry_counter
+
 __all__ = ["HedgePolicy"]
 
 
@@ -42,11 +44,24 @@ class HedgePolicy:
         self.warmup = warmup
         self.window = window
         self._samples: List[float] = []
-        # Scoreboard.
-        self.hedges_fired = 0
-        self.hedge_wins = 0
-        self.primary_wins = 0
-        self.failovers = 0
+        # Scoreboard: free-standing counters until bind_registry moves them
+        # into a system MetricsRegistry (metrics sidecars).
+        self._counters = {field: Counter("hedge.%s" % field)
+                          for field in self._FIELDS}
+
+    _FIELDS = ("hedges_fired", "hedge_wins", "primary_wins", "failovers")
+
+    hedges_fired = registry_counter("hedges_fired")
+    hedge_wins = registry_counter("hedge_wins")
+    primary_wins = registry_counter("primary_wins")
+    failovers = registry_counter("failovers")
+
+    def bind_registry(self, registry, prefix: str = "resilience.hedge") -> None:
+        """Re-home the scoreboard into ``registry`` (values carry over)."""
+        for field in self._FIELDS:
+            counter = registry.counter("%s.%s" % (prefix, field))
+            counter.value = self._counters[field].value
+            self._counters[field] = counter
 
     def observe(self, latency_us: float) -> None:
         """Record one completed primary-side latency."""
@@ -69,9 +84,4 @@ class HedgePolicy:
         return max(self.floor_us, ordered[rank] * self.multiplier)
 
     def counters(self) -> dict:
-        return {
-            "hedges_fired": self.hedges_fired,
-            "hedge_wins": self.hedge_wins,
-            "primary_wins": self.primary_wins,
-            "failovers": self.failovers,
-        }
+        return {field: self._counters[field].value for field in self._FIELDS}

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from repro.instrument.metrics import Counter, registry_counter
 from repro.sim.units import us_to_ns
 
 __all__ = ["RecoveryTracker"]
@@ -27,7 +28,16 @@ class RecoveryTracker:
         self.sim = sim
         self.window_ns = us_to_ns(window_us)
         self._last_fault_ns: Dict[int, int] = {}
-        self.faults_noted = 0
+        self._counters = {"faults_noted": Counter("recovery.faults_noted")}
+
+    faults_noted = registry_counter("faults_noted")
+
+    def bind_registry(self, registry,
+                      prefix: str = "resilience.recovery") -> None:
+        """Re-home the fault counter into ``registry`` (value carries over)."""
+        counter = registry.counter("%s.faults_noted" % prefix)
+        counter.value = self._counters["faults_noted"].value
+        self._counters["faults_noted"] = counter
 
     def note_fault(self, device_index: int) -> None:
         """A device-level fault was observed on ``device_index`` just now."""

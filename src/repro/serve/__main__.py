@@ -59,6 +59,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="open-loop arrival-rate multiplier")
     parser.add_argument("--out", default=None,
                         help="write the metrics JSON snapshot here")
+    parser.add_argument("--attribute", action="store_true",
+                        help="trace the run and print per-tenant "
+                             "latency attribution (timing unchanged)")
     parser.add_argument("--list-mixes", action="store_true")
     args = parser.parse_args(argv)
 
@@ -68,7 +71,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     result = run_mix(args.mix, policy=args.policy, placement=args.placement,
-                     seed=args.seed, load_scale=args.load)
+                     seed=args.seed, load_scale=args.load,
+                     trace=args.attribute)
     manager = result.manager
     registry = result.system.metrics
 
@@ -86,6 +90,17 @@ def main(argv: Optional[List[str]] = None) -> int:
               % (server.index, dispatched, server.slots.peak_slots_in_use,
                  server.slots.app_slots,
                  server.slots.peak_dram_reserved_bytes))
+
+    if args.attribute and result.bus is not None:
+        from repro.instrument.causal import COMPONENTS, attribute
+        report = attribute(result.bus.events)
+        for row in report.tenants:
+            parts = " ".join(
+                "%s=%.1f" % (name, row[name] / 1000.0)
+                for name in COMPONENTS if row[name])
+            print("attribution tenant %-8s jobs=%-4d e2e=%.1f us  %s"
+                  % (row["tenant"], row["queries"],
+                     row["end_to_end"] / 1000.0, parts))
 
     if args.out:
         payload = registry.to_json(extra={

@@ -23,6 +23,7 @@ never occupying a device slot.
 from __future__ import annotations
 
 import itertools
+from contextlib import nullcontext
 from typing import Dict, Generator, List, Optional, Tuple
 
 from repro.core.errors import DeviceError
@@ -139,6 +140,8 @@ class JobManager:
         self.resilience = resilience
         self.recovery = (RecoveryTracker(self.sim, resilience.recovery_window_us)
                          if resilience is not None else None)
+        if self.recovery is not None:
+            self.recovery.bind_registry(system.metrics)
         self.tenants: Dict[str, Tenant] = {}
         for tenant in tenants:
             if tenant.name in self.tenants:
@@ -159,6 +162,14 @@ class JobManager:
         self.jobs_submitted = 0
 
     # ------------------------------------------------------------ submission
+    def _job_scope(self, job: Job):
+        """The job's causal context ("serve/<tenant>/j<id>"); no-op untraced."""
+        trace = self.sim.trace
+        if trace is None:
+            return nullcontext()
+        return trace.scope("serve/%s/j%d" % (job.spec.tenant, job.job_id),
+                           job.spec.tenant)
+
     def submit(self, spec: JobSpec) -> Tuple[AdmissionDecision, Job]:
         """Accept or reject one request; never blocks.
 
@@ -169,23 +180,24 @@ class JobManager:
         """
         job = Job(spec, self.sim, submit_ns=self.sim.now)
         self.jobs_submitted += 1
-        tenant = self.tenants.get(spec.tenant)
-        if tenant is None:
-            return self._reject(job, "unknown_tenant"), job
-        if spec.kind not in JOB_KINDS:
-            return self._reject(job, "unknown_kind"), job
-        if self._queued_per_tenant[spec.tenant] >= tenant.queue_limit:
-            return self._reject(job, "queue_full"), job
-        if self.resilience is not None and self.resilience.should_shed(
-                spec, len(self.recovery.recovering_devices()),
-                len(self.servers)):
-            self.tracker.shed(job)
-            return self._reject(job, "shed_recovery"), job
-        if spec.priority == 0:
-            spec.priority = tenant.priority
-        self.tracker.submitted(job)
-        self._queued_per_tenant[spec.tenant] += 1
-        self.scheduler.push(job)
+        with self._job_scope(job):
+            tenant = self.tenants.get(spec.tenant)
+            if tenant is None:
+                return self._reject(job, "unknown_tenant"), job
+            if spec.kind not in JOB_KINDS:
+                return self._reject(job, "unknown_kind"), job
+            if self._queued_per_tenant[spec.tenant] >= tenant.queue_limit:
+                return self._reject(job, "queue_full"), job
+            if self.resilience is not None and self.resilience.should_shed(
+                    spec, len(self.recovery.recovering_devices()),
+                    len(self.servers)):
+                self.tracker.shed(job)
+                return self._reject(job, "shed_recovery"), job
+            if spec.priority == 0:
+                spec.priority = tenant.priority
+            self.tracker.submitted(job)
+            self._queued_per_tenant[spec.tenant] += 1
+            self.scheduler.push(job)
         self._try_dispatch()
         return AdmissionDecision(True), job
 
@@ -250,11 +262,16 @@ class JobManager:
                 job.device_index = index
                 job.state = JobState.RUNNING
                 job.start_ns = self.sim.now
-                self.tracker.dispatched(job)
-                runner = self.sim.process(
-                    self._run_job(job, server),
-                    name="serve:%s/%s#%d" % (job.spec.tenant, job.spec.kind,
-                                             job.job_id))
+                # Dispatch runs re-entrant from whatever fiber freed the
+                # slot; the job's own scope keeps the admit-wait span and
+                # the spawned runner (which inherits the active context at
+                # creation) attributed to *this* job, not the finishing one.
+                with self._job_scope(job):
+                    self.tracker.dispatched(job)
+                    runner = self.sim.process(
+                        self._run_job(job, server),
+                        name="serve:%s/%s#%d" % (job.spec.tenant,
+                                                 job.spec.kind, job.job_id))
                 runner.defused = True
         finally:
             self._dispatch_depth = 0
@@ -270,11 +287,12 @@ class JobManager:
         job.state = state
         job.finish_ns = self.sim.now
         self._queued_per_tenant[job.spec.tenant] -= 1
-        if state == JobState.TIMED_OUT:
-            self.tracker.timed_out(job)
-        else:
-            job.reject_reason = reason
-            self.tracker.rejected(job, reason or "")
+        with self._job_scope(job):
+            if state == JobState.TIMED_OUT:
+                self.tracker.timed_out(job)
+            else:
+                job.reject_reason = reason
+                self.tracker.rejected(job, reason or "")
         job.done.succeed(job)
 
     def _failover_target(self, job: Job, failed: DeviceServer) -> DeviceServer:
@@ -335,7 +353,14 @@ class JobManager:
                         self.tracker.failover(job, target.index)
                     backoff_us = (self.resilience.retry_backoff_us
                                   * (2 ** (attempts - 1)))
+                    trace = self.sim.trace
+                    backoff_start_ns = self.sim.now if trace is not None else 0
                     yield self.sim.timeout(us_to_ns(backoff_us))
+                    if trace is not None:
+                        trace.complete("serve", "retry-backoff",
+                                       "serve/%s" % job.spec.tenant,
+                                       backoff_start_ns, job=job.job_id,
+                                       attempt=attempts)
         finally:
             job.finish_ns = self.sim.now
             self.tracker.finished(job)

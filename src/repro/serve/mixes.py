@@ -25,11 +25,13 @@ class MixResult:
     """Everything a caller may want to inspect after a run."""
 
     def __init__(self, system: System, manager: JobManager,
-                 loadgen: LoadGenerator, elapsed_s: float):
+                 loadgen: LoadGenerator, elapsed_s: float, bus=None):
         self.system = system
         self.manager = manager
         self.loadgen = loadgen
         self.elapsed_s = elapsed_s
+        #: The EventBus when the run was traced (run_mix(trace=True)).
+        self.bus = bus
 
 
 def _smoke() -> Tuple[int, float, List[TenantProfile]]:
@@ -119,8 +121,13 @@ def mix_names() -> List[str]:
 
 def run_mix(mix: str, policy: str = "fifo", placement: str = "round_robin",
             seed: int = 11, load_scale: float = 1.0,
-            horizon_s: Optional[float] = None) -> MixResult:
-    """Build and run one mix to drain; fully deterministic per arguments."""
+            horizon_s: Optional[float] = None, trace: bool = False) -> MixResult:
+    """Build and run one mix to drain; fully deterministic per arguments.
+
+    ``trace=True`` attaches an :class:`~repro.instrument.events.EventBus`
+    before the system wires up (``result.bus``); timing is unchanged — the
+    bus is pure observation (the fused fast path de-gates itself).
+    """
     if mix not in MIXES:
         raise ValueError("unknown mix %r (one of %s)"
                          % (mix, ", ".join(mix_names())))
@@ -132,7 +139,15 @@ def run_mix(mix: str, policy: str = "fifo", placement: str = "round_robin",
     for profile in profiles:
         if profile.mode == "open":
             profile.rate_jobs_per_s *= load_scale
-    system = System(num_ssds=num_ssds)
+    bus = None
+    if trace:
+        from repro.instrument.events import EventBus
+        from repro.sim.engine import Simulator
+        sim = Simulator()
+        bus = EventBus(sim)
+        system = System(num_ssds=num_ssds, sim=sim)
+    else:
+        system = System(num_ssds=num_ssds)
     install_serve_datasets(system)
     manager = JobManager(
         system, [profile.tenant() for profile in profiles],
@@ -142,4 +157,4 @@ def run_mix(mix: str, policy: str = "fifo", placement: str = "round_robin",
     system.run_fiber(loadgen.run(), name="loadgen")
     elapsed_s = system.sim.now_s
     manager.finalize(elapsed_s)
-    return MixResult(system, manager, loadgen, elapsed_s)
+    return MixResult(system, manager, loadgen, elapsed_s, bus=bus)

@@ -107,6 +107,11 @@ class SLOTracker:
             "serve.tenant.%s.queue_us" % job.spec.tenant).observe(queue_us)
         self.registry.counter(
             "serve.device%d.dispatched" % job.device_index).inc()
+        trace = self.sim.trace if self.sim is not None else None
+        if trace is not None and job.start_ns > job.submit_ns:
+            # Admission wait: the span the scheduler held this job queued.
+            trace.complete("serve", "admit-wait", "serve/%s" % job.spec.tenant,
+                           job.submit_ns, job=job.job_id)
         self._trace("dispatch", job, device=job.device_index)
 
     def finished(self, job: Job) -> None:

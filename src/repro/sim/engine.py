@@ -175,7 +175,8 @@ class Process(Event):
     returns (success, value = return value) or raises (failure).
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_pending_interrupt", "name")
+    __slots__ = ("_generator", "_waiting_on", "_pending_interrupt", "name",
+                 "ctx")
 
     def __init__(self, sim: "Simulator", generator: Generator, name: str = ""):
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -185,6 +186,10 @@ class Process(Event):
         self._waiting_on: Optional[Event] = None
         self._pending_interrupt: Optional[Interrupt] = None
         self.name = name or getattr(generator, "__name__", "process")
+        # Causal trace context: child fibers inherit the spawner's active
+        # context at creation time (see repro.instrument.events.EventBus).
+        trace = sim.trace
+        self.ctx = trace.ctx if trace is not None else None
         # Kick off at the current time.
         bootstrap = Event(sim)
         bootstrap.defused = True
@@ -253,6 +258,12 @@ class Process(Event):
         if self._waiting_on is not None and event is not self._waiting_on:
             return  # stale wakeup from an event we abandoned via interrupt
         self._waiting_on = None
+        trace = self.sim.trace
+        if trace is not None:
+            # Every emission between here and the next yield belongs to this
+            # fiber's causal context (pure observation; no time advances).
+            trace.ctx = self.ctx
+            trace._current = self
         try:
             if self._pending_interrupt is not None:
                 # Deferred cancellation (interrupt before the first resume).

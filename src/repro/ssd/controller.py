@@ -478,7 +478,13 @@ class Controller:
                 # little longer before hitting the die again.
                 backoff_us = self.config.read_retry_backoff_us * attempt
                 if backoff_us > 0:
+                    trace = self.sim.trace
+                    backoff_start_ns = self.sim.now if trace is not None else 0
                     yield self.sim.timeout(us_to_ns(backoff_us))
+                    if trace is not None:
+                        trace.complete("ctrl", "retry-backoff",
+                                       self.trace_io_track, backoff_start_ns,
+                                       attempt=attempt)
             except UncorrectableReadError:
                 self.stats.unrecoverable_reads += 1
                 raise

@@ -122,18 +122,32 @@ class Channel:
         start_ns = self.sim.now if trace is not None else 0
         yield self.dies.request() if die_request is None else die_request
         try:
+            if trace is not None and self.sim.now > start_ns:
+                # Queueing ahead of the media: the op waited for a free die.
+                trace.complete("nand", "die-wait", self.trace_track, start_ns)
+            sense_start_ns = self.sim.now if trace is not None else 0
             sense_ns = us_to_ns(config.nand_read_us)
             if fault is not None and fault.kind == "spike":
                 sense_ns += fault.extra_ns
             yield self.sim.timeout(sense_ns)
-            if fault is not None and fault.kind == "ecc":
-                raise EccError("ECC decode failed",
-                               channel=self.index, page=physical_page)
-            if fault is not None and fault.kind == "uncorrectable":
+            if fault is not None and fault.kind in ("ecc", "uncorrectable"):
+                if trace is not None:
+                    # The sense time was consumed but nothing transferred;
+                    # attribution charges it to the retry, not to NAND busy.
+                    trace.complete("nand", "read-failed", self.trace_track,
+                                   sense_start_ns, page=physical_page,
+                                   kind=fault.kind)
+                if fault.kind == "ecc":
+                    raise EccError("ECC decode failed",
+                                   channel=self.index, page=physical_page)
                 raise UncorrectableReadError("media read failed",
                                              channel=self.index, page=physical_page)
+            bus_wait_ns = self.sim.now if trace is not None else 0
             yield self.bus.request()
             try:
+                if trace is not None and self.sim.now > bus_wait_ns:
+                    trace.complete("nand", "bus-wait", self.trace_track,
+                                   bus_wait_ns)
                 if fault is not None and fault.kind == "stall":
                     # The channel wedges with the bus held: every other die's
                     # transfer on this channel waits it out too.
@@ -146,7 +160,7 @@ class Channel:
         self.bytes_read += transfer_bytes
         self.reads += 1
         if trace is not None:
-            trace.complete("nand", "read", self.trace_track, start_ns,
+            trace.complete("nand", "read", self.trace_track, sense_start_ns,
                            bytes=transfer_bytes, page=physical_page)
 
     def program(self, transfer_bytes: int) -> Generator:

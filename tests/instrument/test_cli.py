@@ -59,8 +59,11 @@ def test_read_latency_artifacts_and_determinism(tmp_path):
     # The metrics snapshot carries the registry plus run header fields.
     metrics = json.loads(metrics_bytes)
     assert metrics["workload"] == "read_latency"
-    assert metrics["events"] == len(trace["traceEvents"]) - sum(
-        1 for event in trace["traceEvents"] if event["ph"] == "M")
+    # Metadata ("M") and per-query flow arrows ("s"/"t"/"f") are synthetic
+    # exporter records, not bus events.
+    synthetic = sum(1 for event in trace["traceEvents"]
+                    if event["ph"] in ("M", "s", "t", "f"))
+    assert metrics["events"] == len(trace["traceEvents"]) - synthetic
     assert "ssd0.io.read_commands" in metrics["metrics"]
     # The breakdown report reproduces the Table III composition.
     assert "path" in report and "internal" in report
