@@ -9,7 +9,7 @@ STRICT_TYPED = \
 	src/repro/core/ssdlet.py \
 	src/repro/core/types.py
 
-.PHONY: test test-fast test-faults bench serve lint typecheck trace attribute resilience sim-throughput race
+.PHONY: test test-fast test-faults bench serve lint typecheck trace attribute resilience sim-throughput cluster race
 
 # The full tier-1 suite (what CI runs on every push).
 test:
@@ -36,6 +36,12 @@ resilience:
 # shapes.  Emits BENCH_sim_throughput.json (deterministic except "wall").
 sim-throughput:
 	PYTHONPATH=src $(PYTHON) -m repro.bench sim_throughput
+
+# Sharded-fleet benchmark: scatter-gather SQL across a 4-node fleet plus a
+# crash storm.  Emits BENCH_cluster.json (byte-deterministic across hash
+# seeds); CI gates tail-amplification drift against the committed copy.
+cluster:
+	PYTHONPATH=src $(PYTHON) -m repro.bench cluster
 
 # Run a serving-layer traffic mix deterministically (override MIX/POLICY,
 # e.g. `make serve MIX=saturation POLICY=wfq`).

@@ -15,6 +15,7 @@ import sys
 import time
 
 from repro.bench import experiments
+from repro.bench.cluster import exp_cluster
 from repro.bench.harness import save_result
 from repro.bench.resilience import exp_resilience
 from repro.bench.throughput import exp_sim_throughput
@@ -31,6 +32,7 @@ EXPERIMENTS = {
     "fig10": ("Fig. 10 — full TPC-H", experiments.exp_fig10_tpch, True),
     "serve": ("Serving — saturation sweep + fairness", experiments.exp_serve_saturation, False),
     "resilience": ("Resilience — SQL under a seeded fault storm", exp_resilience, False),
+    "cluster": ("Cluster — sharded scatter-gather SQL + crash storm", exp_cluster, True),
     "sim_throughput": ("Simulator — events/sec with the fused fast path", exp_sim_throughput, False),
 }
 

@@ -1,0 +1,574 @@
+"""Replicated scatter-gather SQL over the sharded fleet.
+
+:class:`ClusterExecutor` is the coordinator: it compiles a single-table
+statement once, prunes the target shard set with
+:func:`repro.db.planner.partition_constraints`, fans the scan out to every
+owning shard (the whole single-device NDP datapath — planner, matcher
+prefilter, ScanFilter/ScanAggregate SSDlets — runs device-side on each
+node), and merges the device-reduced partials client-side:
+
+* **sorted scans** — each shard sorts (and top-k-limits) locally, the
+  coordinator does a deterministic k-way ordered merge;
+* **aggregates** — shards ship device-format aggregate states, merged with
+  :func:`repro.db.executor.merge_agg_states` (a host-computed partial and a
+  device-reduced one combine bit-for-bit);
+* **point lookups** — pruned to the one owning shard; the first successful
+  replica response wins.
+
+Per-shard resilience reuses :mod:`repro.resilience`: with a
+:class:`HedgePolicy` every shard call goes through
+:meth:`ScaleOutCluster.hedged_call` (p99-deadline hedge onto the replica,
+immediate failover on a primary device error); without one, a retry loop
+with exponential backoff walks the shard's *alive* copies from the catalog.
+Either way a node crash mid-scatter costs a failover, not the query.
+
+Coordinator-side work is charged to the client host CPU and traced as
+``("cluster", "merge")`` spans; the fan-out barrier is traced as
+``("cluster", "scatter-wait")`` — both feed the causal attribution
+pipeline's ``cluster_merge`` / ``cluster_scatter_wait`` components, and
+neither span is emitted when its duration is zero.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.cluster.catalog import shard_table_name
+from repro.cluster.fleet import ShardedFleet, ShardedKVStore
+from repro.core.errors import DeviceCrashedError, DeviceError
+from repro.db.executor import (
+    EngineConfig,
+    Rel,
+    TableRef,
+    aggregate_rows,
+    finalize_agg_rel,
+    merge_agg_states,
+    plan_device_aggs,
+    update_agg_states,
+)
+from repro.db.expr import Cmp, Col, Const, Expr, compile_expr
+from repro.db.ndp import ndp_aggregate_supported
+from repro.db.planner import partition_constraints
+from repro.db.sql import SqlError, compile_sql
+from repro.net.cluster import StorageNode
+from repro.resilience import HedgePolicy, RetryPolicy
+from repro.sim.engine import all_of
+
+__all__ = ["ClusterExecutor", "run_cluster_sql"]
+
+
+def _payload_bytes(obj: Any) -> int:
+    """Wire size of a shipped partial (its pickle — what the link carries)."""
+    return len(pickle.dumps(obj, protocol=4))
+
+
+def _row_less(a: tuple, b: tuple, key_plan: List[Tuple[int, bool]]) -> bool:
+    """Strict ordering of two rows under (position, descending) sort keys."""
+    for position, descending in key_plan:
+        av, bv = a[position], b[position]
+        if av == bv:
+            continue
+        if descending:
+            return av > bv
+        return av < bv
+    return False
+
+
+class ClusterExecutor:
+    """The scatter-gather coordinator for one :class:`ShardedFleet`."""
+
+    #: RPC envelope sizes; bulk results are shipped explicitly by the shard
+    #: work (sized from the actual pickled partial), so the serve() response
+    #: envelope stays small.
+    REQUEST_BYTES = 256
+    RESPONSE_BYTES = 128
+    #: Coordinator CPU cost per shard response unpacked.
+    GATHER_RPC_US = 5.0
+    #: Coordinator CPU cost per row concatenated / k-way-merged.
+    MERGE_ROW_US = 0.1
+
+    def __init__(
+        self,
+        fleet: ShardedFleet,
+        hedge: Optional[HedgePolicy] = None,
+        retry: Optional[RetryPolicy] = None,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.fleet = fleet
+        self.hedge = hedge
+        self.retry = retry or RetryPolicy(retry_limit=1, backoff_us=300.0)
+        self.config = config or fleet.engine_config or EngineConfig()
+        self.query_seq = 0
+        self.scatter_calls = 0
+        self.shard_rpcs = 0
+        self.fan_out_total = 0
+        self.max_fan_out = 0
+        self.retries = 0
+        self.failovers = 0
+        self.merged_rows = 0
+        self.result_bytes = 0
+        self.point_lookups = 0
+        #: Duration of every completed shard RPC (request to gathered
+        #: response) — the single-shard latency distribution the tail-
+        #: amplification report compares the full scatter against.
+        self.leg_latencies_ns: List[int] = []
+
+    # ----------------------------------------------------------- entry point
+    def run_sql(self, text: str, cold: bool = True) -> Tuple[Rel, float]:
+        """Run one statement across the fleet; returns (Rel, elapsed s)."""
+        self.fleet.begin_query(cold=cold)
+        self.query_seq += 1
+        sim = self.fleet.sim
+        start_s = sim.now_s
+        trace = sim.trace
+        if trace is not None:
+            with trace.scope("cluster/q%d" % self.query_seq):
+                rel = self.fleet.run_fiber(self.sql_fiber(text),
+                                           name="cluster-sql")
+        else:
+            rel = self.fleet.run_fiber(self.sql_fiber(text),
+                                       name="cluster-sql")
+        return rel, sim.now_s - start_s
+
+    def sql_fiber(self, text: str) -> Generator:
+        """Fiber: compile, scatter, gather, and post-process one statement."""
+        fleet = self.fleet
+        sim = fleet.sim
+        q_start = sim.now
+        compile_engine = fleet.engine(fleet.catalog.primary_for(0))
+        compiled = compile_sql(compile_engine, text)
+        query = compiled.query
+        if len(compiled.refs) != 1 or compiled.join_conditions:
+            raise SqlError(
+                "cluster scatter-gather is single-table; got %d tables"
+                % len(compiled.refs))
+        ref = compiled.refs[0]
+        if not fleet.catalog.is_sharded(ref.name):
+            raise SqlError("table %r is not sharded" % ref.name)
+        having = compiled.having
+
+        aggregated = any(item.agg for item in query.items)
+        aggs: List[Tuple[str, str, Optional[Expr]]] = []
+        if aggregated or query.group_by:
+            for item in query.items:
+                if item.agg:
+                    kind = item.agg
+                    if item.distinct:
+                        if kind != "count":
+                            raise SqlError(
+                                "DISTINCT only supported inside COUNT()")
+                        kind = "count_distinct"
+                    aggs.append((item.name, kind, item.agg_arg))
+                elif not (isinstance(item.expr, Col)
+                          and item.expr.name in query.group_by):
+                    raise SqlError(
+                        "non-aggregated select item %r must appear in "
+                        "GROUP BY" % item.name)
+
+        pushdown_order = None
+        if aggregated or query.group_by:
+            rel = yield from self.scatter_aggregate(
+                ref, list(query.group_by), aggs)
+            out_names = [item.name for item in query.items]
+            idx = [rel.position(name) for name in out_names]
+            rel = Rel(out_names,
+                      [tuple(row[i] for i in idx) for row in rel.rows])
+        else:
+            if query.order_by and having is None:
+                pushdown_order = self._order_pushdown(query)
+            rel = yield from self.scatter_fetch(
+                ref, order_by=pushdown_order,
+                limit=query.limit if pushdown_order else None)
+            exprs = [(item.name, item.expr) for item in query.items]
+            rel = yield from self._project(rel, exprs)
+
+        if having is not None:
+            rel = yield from self._filter(rel, having)
+        if query.order_by:
+            for name, _ in query.order_by:
+                if name not in rel.positions:
+                    raise SqlError("ORDER BY %r is not an output column" % name)
+            if pushdown_order is None:
+                rel = yield from self._sort(rel, list(query.order_by),
+                                            limit=query.limit)
+            elif query.limit is not None:
+                # Shards pre-sorted and the merge applied the limit; the
+                # slice is belt-and-braces for the no-merge single-shard path.
+                rel = Rel(rel.columns, rel.rows[:query.limit])
+        elif query.limit is not None:
+            rel = Rel(rel.columns, rel.rows[:query.limit])
+
+        trace = sim.trace
+        if trace is not None and sim.now > q_start:
+            trace.complete("cluster", "query", "host/cluster", q_start,
+                           table=ref.name)
+        return rel
+
+    def _order_pushdown(
+        self, query
+    ) -> Optional[List[Tuple[str, bool]]]:
+        """ORDER BY mapped onto base columns, or None when not pushable.
+
+        Pushable when every sort key names a plain-column select item: each
+        shard then sorts (and top-k-limits) locally and the coordinator's
+        ordered merge preserves the global order.
+        """
+        by_name = {item.name: item for item in query.items}
+        mapped: List[Tuple[str, bool]] = []
+        for name, descending in query.order_by:
+            item = by_name.get(name)
+            if item is None or item.agg or not isinstance(item.expr, Col):
+                return None
+            mapped.append((item.expr.name, descending))
+        return mapped
+
+    # -------------------------------------------------------------- scatter
+    def target_shards(self, ref: TableRef) -> List[int]:
+        """The shards the scan must visit (predicate-pruned, superset-safe)."""
+        spec = self.fleet.catalog.spec(ref.name)
+        constraint = partition_constraints(ref.pred, spec.key)
+        return spec.target_shards(constraint)
+
+    def scatter_fetch(
+        self,
+        ref: TableRef,
+        order_by: Optional[List[Tuple[str, bool]]] = None,
+        limit: Optional[int] = None,
+    ) -> Generator:
+        """Fiber: fan a scan out to every owning shard and gather rows.
+
+        With ``order_by`` each shard returns its rows pre-sorted (top-k
+        when ``limit`` is set) and the coordinator k-way-merges; otherwise
+        partials are concatenated in shard order.
+        """
+        shards = self.target_shards(ref)
+
+        def work_factory(shard: int) -> Callable[[StorageNode], Generator]:
+            name = shard_table_name(ref.name, shard)
+            return lambda node: self._scan_work(node, name, ref,
+                                                order_by, limit)
+
+        partials = yield from self._scatter(ref.name, shards, work_factory)
+        columns = (partials[0].columns if partials
+                   else list(ref.cols or ()))
+        row_lists = [rel.rows for rel in partials]
+        total_rows = sum(len(rows) for rows in row_lists)
+        if order_by:
+            key_plan = [(partials[0].position(c), d)
+                        for c, d in order_by] if partials else []
+            rows = self._ordered_merge(row_lists, key_plan, limit)
+        else:
+            rows = [row for rows in row_lists for row in rows]
+        self.merged_rows += total_rows
+        yield from self._coord_work(
+            len(partials) * self.GATHER_RPC_US
+            + total_rows * self.MERGE_ROW_US)
+        return Rel(columns, rows)
+
+    def scatter_aggregate(
+        self,
+        ref: TableRef,
+        group_by: List[str],
+        aggs: List[Tuple[str, str, Optional[Expr]]],
+    ) -> Generator:
+        """Fiber: distributed aggregation.
+
+        Device-supported aggregate sets ship per-shard *states* (tiny) and
+        the coordinator folds them; anything else (count_distinct) falls
+        back to shipping matching rows and aggregating client-side.
+        """
+        if not ndp_aggregate_supported(aggs):
+            rel = yield from self.scatter_fetch(ref)
+            yield from self._coord_work(
+                len(rel) * self.config.host_agg_row_us)
+            return aggregate_rows(rel, group_by, aggs)
+
+        schema = self.fleet.engine(
+            self.fleet.catalog.primary_for(0)).db.table(ref.name).schema
+        positions = {name: i for i, name in enumerate(schema.column_names())}
+        device_aggs, layout, kinds = plan_device_aggs(aggs, positions)
+        shards = self.target_shards(ref)
+
+        def work_factory(shard: int) -> Callable[[StorageNode], Generator]:
+            name = shard_table_name(ref.name, shard)
+            return lambda node: self._agg_work(node, name, ref,
+                                               group_by, aggs)
+
+        partials = yield from self._scatter(ref.name, shards, work_factory)
+        totals: Dict[tuple, list] = {}
+        merged = 0
+        for partial in partials:
+            merge_agg_states(totals, partial, kinds)
+            merged += len(partial)
+        self.merged_rows += merged
+        yield from self._coord_work(
+            len(partials) * self.GATHER_RPC_US
+            + merged * self.config.host_agg_row_us)
+        return finalize_agg_rel(totals, layout, device_aggs, group_by, aggs)
+
+    def point_lookup(self, table: str, value: Any,
+                     cols: Optional[List[str]] = None) -> Generator:
+        """Fiber: partition-key equality lookup, pruned to the one owning
+        shard; against replicas the first successful response wins (the
+        hedge races primary and replica, the failover path walks alive
+        copies in order)."""
+        fleet = self.fleet
+        spec = fleet.catalog.spec(table)
+        shard = spec.shard_of(value)
+        pred = Cmp("==", Col(spec.key), Const(value))
+        ref = TableRef(table, pred, cols)
+        name = shard_table_name(table, shard)
+        self.point_lookups += 1
+        rel = yield from self._shard_call(
+            shard, lambda node: self._scan_work(node, name, ref, None, None))
+        yield from self._coord_work(self.GATHER_RPC_US)
+        return rel
+
+    def kv_lookup(self, store: ShardedKVStore,
+                  keys: Sequence[bytes]) -> Generator:
+        """Fiber: batched KV lookups, grouped by shard and scattered.
+
+        Each shard runs the Lookup SSDlet batch device-side on one of its
+        copy holders; the gathered per-shard dicts are disjoint by
+        construction so the merge is a plain union.
+        """
+        groups = store.group_keys(keys)
+        shards = list(groups)
+
+        def work_factory(shard: int) -> Callable[[StorageNode], Generator]:
+            return lambda node: self._kv_work(node, store, shard,
+                                              groups[shard])
+
+        partials = yield from self._scatter(store.name, shards, work_factory)
+        out: Dict[bytes, Optional[bytes]] = {}
+        for partial in partials:
+            out.update(partial)
+        yield from self._coord_work(
+            len(partials) * self.GATHER_RPC_US
+            + len(out) * self.MERGE_ROW_US)
+        return out
+
+    # ---------------------------------------------------------- shard legs
+    def _scan_work(self, node: StorageNode, shard_name: str, ref: TableRef,
+                   order_by: Optional[List[Tuple[str, bool]]],
+                   limit: Optional[int]) -> Generator:
+        """Fiber (node-side): scan one shard copy through the NDP datapath."""
+        fleet = self.fleet
+        index = fleet.node_index(node)
+        fleet.ensure_alive(index)
+        engine = fleet.engine(index)
+        sref = TableRef(shard_name, ref.pred, ref.cols)
+        rel = yield from engine.fetch(sref)
+        if order_by:
+            rel = yield from engine.sort(rel, list(order_by), limit=limit)
+        payload = _payload_bytes(rel.rows)
+        self.result_bytes += payload
+        yield from node.link.send(payload)
+        return rel
+
+    def _agg_work(self, node: StorageNode, shard_name: str, ref: TableRef,
+                  group_by: List[str], aggs) -> Generator:
+        """Fiber (node-side): one shard's device-format aggregate states.
+
+        The ScanAggregate SSDlet reduces on-device when the planner offloads;
+        the host-scan fallback folds with :func:`update_agg_states`, which
+        mirrors the SSDlet exactly — the coordinator cannot tell the two
+        apart, so crashed-primary failovers never change results.
+        """
+        fleet = self.fleet
+        index = fleet.node_index(node)
+        fleet.ensure_alive(index)
+        engine = fleet.engine(index)
+        sref = TableRef(shard_name, ref.pred, ref.cols)
+        totals = None
+        if (sref.pred is not None and engine.ndp_context is not None
+                and engine.config.ndp_pushdown_aggregate):
+            decision = yield from engine.planner.decide(sref)
+            if decision.offload:
+                totals = yield from engine.ndp_context.ndp_aggregate(
+                    engine, sref, decision, list(group_by), aggs, raw=True)
+        if totals is None:
+            rel = yield from engine.fetch(sref)
+            positions = {c: i for i, c in enumerate(rel.columns)}
+            device_aggs, _layout, _kinds = plan_device_aggs(aggs, positions)
+            group_idx = [rel.position(c) for c in group_by]
+            yield from engine.charge_rows(
+                len(rel), engine.config.host_agg_row_us)
+            totals = update_agg_states({}, rel.rows, group_idx, device_aggs)
+        payload = _payload_bytes(totals)
+        self.result_bytes += payload
+        yield from node.link.send(payload)
+        return totals
+
+    def _kv_work(self, node: StorageNode, store: ShardedKVStore, shard: int,
+                 keys: List[bytes]) -> Generator:
+        """Fiber (node-side): batched Lookup SSDlet over one KV shard copy."""
+        fleet = self.fleet
+        index = fleet.node_index(node)
+        fleet.ensure_alive(index)
+        kv = store.store_on(shard, index)
+        results = yield from kv.get_biscuit(keys)
+        payload = sum(
+            16 + len(key) + (len(value) if value is not None else 0)
+            for key, value in results.items())
+        self.result_bytes += payload
+        yield from node.link.send(payload)
+        return results
+
+    # ------------------------------------------------------- fan-out + RPC
+    def _scatter(self, label: str, shards: List[int],
+                 work_factory: Callable[[int], Callable]) -> Generator:
+        """Fiber: launch one resilient leg per shard, barrier on all.
+
+        ``all_of`` fails fast: a leg whose every copy is gone aborts the
+        query immediately rather than waiting out the stragglers.  The
+        barrier wait is traced as ``("cluster", "scatter-wait")`` (only
+        when non-zero).
+        """
+        sim = self.fleet.sim
+        self.scatter_calls += 1
+        self.fan_out_total += len(shards)
+        self.max_fan_out = max(self.max_fan_out, len(shards))
+        legs = [
+            sim.process(
+                self._shard_call(shard, work_factory(shard)),
+                name="scatter-%s-s%d" % (label, shard),
+            )
+            for shard in shards
+        ]
+        start = sim.now
+        values = yield all_of(sim, legs)
+        trace = sim.trace
+        if trace is not None and sim.now > start:
+            trace.complete("cluster", "scatter-wait", "host/cluster", start,
+                           fan_out=len(shards))
+        return values
+
+    def _shard_call(self, shard: int, make_work) -> Generator:
+        """Fiber: one shard RPC with hedging or retry+replica failover.
+
+        With a hedge policy the call races primary against replica past the
+        p99 deadline (crashed primary → immediate failover).  Without one,
+        each *alive* copy from the catalog is tried in primary-first order,
+        retrying transient device errors with exponential backoff before
+        failing over; a crashed node is not retried.  Raises the last error
+        (or :class:`ShardUnavailableError`) when every copy is exhausted.
+        """
+        fleet = self.fleet
+        sim = fleet.sim
+        self.shard_rpcs += 1
+        rpc_start = sim.now
+        if self.hedge is not None:
+            before = self.hedge.failovers
+            value = yield from fleet.cluster.hedged_call(
+                shard, fleet.replica_map, make_work, self.hedge,
+                request_bytes=self.REQUEST_BYTES,
+                response_bytes=self.RESPONSE_BYTES)
+            self.failovers += self.hedge.failovers - before
+            self.leg_latencies_ns.append(sim.now - rpc_start)
+            return value
+        fleet.catalog.nodes_for(shard)  # raises ShardUnavailableError early
+        last_error: Optional[DeviceError] = None
+        for node_index in fleet.replica_map.nodes_for(shard):
+            if fleet.catalog.is_down(node_index):
+                self.failovers += 1  # known-dead copy skipped by routing
+                continue
+            node = fleet.node(node_index)
+            tries = 0
+            while True:
+                try:
+                    value = yield from node.serve(
+                        make_work(node), self.REQUEST_BYTES,
+                        self.RESPONSE_BYTES)
+                    self.leg_latencies_ns.append(sim.now - rpc_start)
+                    return value
+                except DeviceError as exc:
+                    last_error = exc
+                    tries += 1
+                    if (tries > self.retry.retry_limit
+                            or isinstance(exc, DeviceCrashedError)):
+                        self.failovers += 1
+                        break  # next copy
+                    self.retries += 1
+                    start = sim.now
+                    yield sim.timeout(self.retry.backoff_ns(tries))
+                    trace = sim.trace
+                    if trace is not None:
+                        trace.complete("resil", "backoff", "host/cluster",
+                                       start, shard=shard, attempt=tries)
+        assert last_error is not None
+        raise last_error
+
+    # ------------------------------------------------------ coordinator ops
+    def _coord_work(self, duration_us: float) -> Generator:
+        """Fiber: charge coordinator CPU, traced as a ``cluster/merge`` span
+        (covering run *and* core-queueing time; zero-cost spans elided)."""
+        if duration_us <= 0:
+            return
+        sim = self.fleet.sim
+        start = sim.now
+        yield from self.fleet.cluster.client_cpu.occupy(
+            duration_us, memory_bound=False)
+        trace = sim.trace
+        if trace is not None and sim.now > start:
+            trace.complete("cluster", "merge", "host/cluster", start)
+
+    def _project(self, rel: Rel, exprs: List[Tuple[str, Expr]]) -> Generator:
+        fns = [(name, compile_expr(expr, rel.positions))
+               for name, expr in exprs]
+        yield from self._coord_work(len(rel) * self.config.host_row_us)
+        return Rel([name for name, _ in fns],
+                   [tuple(fn(row) for _, fn in fns) for row in rel.rows])
+
+    def _filter(self, rel: Rel, pred: Expr) -> Generator:
+        fn = compile_expr(pred, rel.positions)
+        yield from self._coord_work(len(rel) * self.config.host_row_us)
+        return Rel(rel.columns, [row for row in rel.rows if fn(row)])
+
+    def _sort(self, rel: Rel, keys: List[Tuple[str, bool]],
+              limit: Optional[int] = None) -> Generator:
+        rows = list(rel.rows)
+        for column, descending in reversed(keys):
+            position = rel.position(column)
+            rows.sort(key=lambda row: row[position], reverse=descending)
+        yield from self._coord_work(
+            len(rows) * self.config.host_agg_row_us)
+        if limit is not None:
+            rows = rows[:limit]
+        return Rel(rel.columns, rows)
+
+    @staticmethod
+    def _ordered_merge(row_lists: List[list],
+                       key_plan: List[Tuple[int, bool]],
+                       limit: Optional[int]) -> list:
+        """Deterministic k-way merge of per-shard pre-sorted runs.
+
+        Ties break toward the lowest shard index (strict-less comparison
+        never replaces the incumbent on equality), so the output is fully
+        reproducible regardless of arrival timing.
+        """
+        cursors = [0] * len(row_lists)
+        out: list = []
+        while True:
+            best = -1
+            for i, rows in enumerate(row_lists):
+                if cursors[i] >= len(rows):
+                    continue
+                if best < 0 or _row_less(
+                        rows[cursors[i]],
+                        row_lists[best][cursors[best]], key_plan):
+                    best = i
+            if best < 0:
+                break
+            out.append(row_lists[best][cursors[best]])
+            cursors[best] += 1
+            if limit is not None and len(out) >= limit:
+                break
+        return out
+
+
+def run_cluster_sql(executor: ClusterExecutor, text: str,
+                    cold: bool = True) -> Tuple[Rel, float]:
+    """Module-level convenience mirroring :func:`repro.db.sql.run_sql`."""
+    return executor.run_sql(text, cold=cold)

@@ -33,7 +33,11 @@ from repro.host.platform import System
 from repro.sim.engine import all_of
 from repro.sim.units import us_to_ns
 
-__all__ = ["Engine", "EngineConfig", "ExecutionMode", "Rel", "TableRef"]
+__all__ = [
+    "Engine", "EngineConfig", "ExecutionMode", "Rel", "TableRef",
+    "aggregate_rows", "plan_device_aggs", "update_agg_states",
+    "merge_agg_states", "finalize_agg_rel",
+]
 
 
 class ExecutionMode(enum.Enum):
@@ -667,59 +671,8 @@ class Engine:
         ``aggs`` entries are (output name, kind, expr) with kind one of
         sum/count/avg/min/max/count_distinct (expr unused for count).
         """
-        group_idx = [rel.position(c) for c in group_by]
-        agg_fns = []
-        for name, kind, expr in aggs:
-            fn = compile_expr(expr, rel.positions) if expr is not None else None
-            agg_fns.append((name, kind, fn))
-        groups: Dict[tuple, list] = {}
-        for row in rel.rows:
-            key = tuple(row[i] for i in group_idx)
-            state = groups.get(key)
-            if state is None:
-                state = []
-                for _, kind, _fn in agg_fns:
-                    if kind == "count":
-                        state.append(0)
-                    elif kind == "avg":
-                        state.append([0.0, 0])
-                    elif kind == "count_distinct":
-                        state.append(set())
-                    elif kind in ("min", "max"):
-                        state.append(None)
-                    else:
-                        state.append(0.0)
-                groups[key] = state
-            for slot, (_, kind, fn) in enumerate(agg_fns):
-                if kind == "count":
-                    state[slot] += 1
-                    continue
-                value = fn(row)
-                if kind == "sum":
-                    state[slot] += value
-                elif kind == "avg":
-                    state[slot][0] += value
-                    state[slot][1] += 1
-                elif kind == "min":
-                    state[slot] = value if state[slot] is None else min(state[slot], value)
-                elif kind == "max":
-                    state[slot] = value if state[slot] is None else max(state[slot], value)
-                elif kind == "count_distinct":
-                    state[slot].add(value)
         yield from self._charge(len(rel) * self.config.host_agg_row_us)
-        out_rows = []
-        for key, state in groups.items():
-            values = []
-            for slot, (_, kind, _fn) in enumerate(agg_fns):
-                if kind == "avg":
-                    total, count = state[slot]
-                    values.append(total / count if count else 0.0)
-                elif kind == "count_distinct":
-                    values.append(len(state[slot]))
-                else:
-                    values.append(state[slot])
-            out_rows.append(key + tuple(values))
-        return Rel(group_by + [name for name, _, _ in agg_fns], out_rows)
+        return aggregate_rows(rel, group_by, aggs)
 
     def sort(self, rel: Rel, keys: List[Tuple[str, bool]], limit: Optional[int] = None) -> Generator:
         """Fiber: order by (column, descending?) pairs, optional limit."""
@@ -766,3 +719,179 @@ class Engine:
                 seen.add(key)
                 rows.append(key)
         return Rel(cols, rows)
+
+
+def aggregate_rows(
+    rel: Rel,
+    group_by: List[str],
+    aggs: List[Tuple[str, str, Optional[Expr]]],
+) -> Rel:
+    """Pure grouped aggregation (no timing).
+
+    The computation behind :meth:`Engine.aggregate`, shared with the
+    cluster coordinator, which charges its own CPU for the fold.
+    """
+    group_idx = [rel.position(c) for c in group_by]
+    agg_fns = []
+    for name, kind, expr in aggs:
+        fn = compile_expr(expr, rel.positions) if expr is not None else None
+        agg_fns.append((name, kind, fn))
+    groups: Dict[tuple, list] = {}
+    for row in rel.rows:
+        key = tuple(row[i] for i in group_idx)
+        state = groups.get(key)
+        if state is None:
+            state = []
+            for _, kind, _fn in agg_fns:
+                if kind == "count":
+                    state.append(0)
+                elif kind == "avg":
+                    state.append([0.0, 0])
+                elif kind == "count_distinct":
+                    state.append(set())
+                elif kind in ("min", "max"):
+                    state.append(None)
+                else:
+                    state.append(0.0)
+            groups[key] = state
+        for slot, (_, kind, fn) in enumerate(agg_fns):
+            if kind == "count":
+                state[slot] += 1
+                continue
+            value = fn(row)
+            if kind == "sum":
+                state[slot] += value
+            elif kind == "avg":
+                state[slot][0] += value
+                state[slot][1] += 1
+            elif kind == "min":
+                state[slot] = value if state[slot] is None else min(state[slot], value)
+            elif kind == "max":
+                state[slot] = value if state[slot] is None else max(state[slot], value)
+            elif kind == "count_distinct":
+                state[slot].add(value)
+    out_rows = []
+    for key, state in groups.items():
+        values = []
+        for slot, (_, kind, _fn) in enumerate(agg_fns):
+            if kind == "avg":
+                total, count = state[slot]
+                values.append(total / count if count else 0.0)
+            elif kind == "count_distinct":
+                values.append(len(state[slot]))
+            else:
+                values.append(state[slot])
+        out_rows.append(key + tuple(values))
+    return Rel(group_by + [name for name, _, _ in aggs], out_rows)
+
+
+# ------------------------------------------------- distributed aggregation
+# Device-format aggregate states: the representation the ScanAggregate
+# SSDlet ships host-ward ({group key: [state per slot]}), factored out so
+# the single-device pushdown (repro.db.ndp) and the cluster coordinator
+# (repro.cluster.executor) fold partials with identical semantics — a
+# host-computed partial and a device-reduced one must merge bit-for-bit.
+
+def plan_device_aggs(
+    aggs: List[Tuple[str, str, Optional[Expr]]],
+    positions: Dict[str, int],
+) -> Tuple[list, list, list]:
+    """Decompose (name, kind, expr) aggregates into device state slots.
+
+    Returns ``(device_aggs, layout, kinds)``: ``device_aggs`` are the
+    per-slot specs the SSDlet executes (``avg`` decomposed into sum+count
+    slots), ``layout`` maps each output aggregate back onto its slot(s) —
+    ``("direct", slot)`` or ``("avg", sum_slot, count_slot)`` — and
+    ``kinds`` drive :func:`merge_agg_states`.
+    """
+    device_aggs: list = []
+    layout: list = []
+    kinds: list = []
+    for name, kind, expr in aggs:
+        value_fn = compile_expr(expr, positions) if expr is not None else None
+        if kind == "avg":
+            layout.append(("avg", len(device_aggs), len(device_aggs) + 1))
+            device_aggs.append((name + "_sum", "sum", value_fn))
+            device_aggs.append((name + "_count", "count", None))
+            kinds.extend(["sum", "count"])
+        else:
+            layout.append(("direct", len(device_aggs)))
+            device_aggs.append((name, kind, value_fn))
+            kinds.append(kind)
+    return device_aggs, layout, kinds
+
+
+def update_agg_states(states: dict, rows, group_idx: List[int],
+                      device_aggs: list) -> dict:
+    """Fold rows into per-group device-format states (pure, no timing).
+
+    Mirrors the ScanAggregate SSDlet's state update exactly, so a shard
+    that falls back to a host-side scan still produces partials the
+    coordinator can merge with device-reduced ones.
+    """
+    for row in rows:
+        key = tuple(row[i] for i in group_idx)
+        state = states.get(key)
+        if state is None:
+            state = [None] * len(device_aggs)
+            states[key] = state
+        for slot, (_name, kind, value_fn) in enumerate(device_aggs):
+            if kind == "count":
+                state[slot] = (state[slot] or 0) + 1
+                continue
+            value = value_fn(row)
+            if state[slot] is None:
+                state[slot] = value
+            elif kind == "sum":
+                state[slot] += value
+            elif kind == "min":
+                state[slot] = min(state[slot], value)
+            elif kind == "max":
+                state[slot] = max(state[slot], value)
+    return states
+
+
+def merge_agg_states(total: dict, partial: dict, kinds) -> None:
+    """Combine per-group state maps in place (sum/count add, min/max keep)."""
+    for key, state in partial.items():
+        existing = total.get(key)
+        if existing is None:
+            total[key] = list(state)
+            continue
+        for slot, kind in enumerate(kinds):
+            if state[slot] is None:
+                continue
+            if existing[slot] is None:
+                existing[slot] = state[slot]
+            elif kind in ("sum", "count"):
+                existing[slot] += state[slot]
+            elif kind == "min":
+                existing[slot] = min(existing[slot], state[slot])
+            elif kind == "max":
+                existing[slot] = max(existing[slot], state[slot])
+
+
+def finalize_agg_rel(totals: dict, layout: list, device_aggs: list,
+                     group_by: List[str], aggs) -> Rel:
+    """Render merged device-format states into the output relation.
+
+    Recomposes decomposed averages (sum/count) and maps empty counts to 0;
+    group order is state-insertion order, which the deterministic merge
+    makes reproducible.
+    """
+    out_rows = []
+    for key, state in totals.items():
+        values = []
+        for plan in layout:
+            if plan[0] == "direct":
+                value = state[plan[1]]
+                if value is None and device_aggs[plan[1]][1] == "count":
+                    value = 0
+                values.append(value)
+            else:
+                total_sum, total_count = state[plan[1]], state[plan[2]]
+                values.append(
+                    (total_sum / total_count) if total_count else 0.0
+                )
+        out_rows.append(tuple(key) + tuple(values))
+    return Rel(list(group_by) + [name for name, _, _ in aggs], out_rows)

@@ -23,7 +23,14 @@ from repro.core import (
     SSDletModule,
     write_module_image,
 )
-from repro.db.executor import Engine, Rel, TableRef
+from repro.db.executor import (
+    Engine,
+    Rel,
+    TableRef,
+    finalize_agg_rel,
+    merge_agg_states,
+    plan_device_aggs,
+)
 from repro.db.expr import compile_expr
 
 __all__ = ["NDP_MODULE", "ScanFilter", "NDPContext"]
@@ -288,23 +295,9 @@ class ScanAggregate(SSDLet):
 NDP_MODULE.register("idScanAggregate", ScanAggregate)
 
 
-def _merge_states(total: dict, partial: dict, kinds) -> None:
-    for key, state in partial.items():
-        existing = total.get(key)
-        if existing is None:
-            total[key] = list(state)
-            continue
-        for slot, kind in enumerate(kinds):
-            if state[slot] is None:
-                continue
-            if existing[slot] is None:
-                existing[slot] = state[slot]
-            elif kind in ("sum", "count"):
-                existing[slot] += state[slot]
-            elif kind == "min":
-                existing[slot] = min(existing[slot], state[slot])
-            elif kind == "max":
-                existing[slot] = max(existing[slot], state[slot])
+# Device-format state merging now lives in repro.db.executor so the cluster
+# coordinator shares it; the old private name stays importable.
+_merge_states = merge_agg_states
 
 
 def ndp_aggregate_supported(aggs) -> bool:
@@ -321,10 +314,14 @@ class NDPContextAggregateMixin:
     """Aggregation-pushdown driver (kept separate for readability)."""
 
     def ndp_aggregate(self, engine: Engine, ref: TableRef, decision,
-                      group_by: List[str], aggs) -> Generator:
+                      group_by: List[str], aggs,
+                      raw: bool = False) -> Generator:
         """Fiber: run the offloaded scan+aggregate; returns the grouped Rel.
 
         ``aggs`` entries are (name, kind, expr) as for Engine.aggregate.
+        With ``raw=True`` the merged device-format state map is returned
+        instead of a Rel — the cluster coordinator asks for raw states so
+        it can fold partials *across shards* before finalizing.
         """
         mid = yield from self._ensure_module()
         storage = engine.db.table(ref.name)
@@ -334,20 +331,7 @@ class NDPContextAggregateMixin:
         prefilter = compile_expr(decision.mfilter.conjunct, positions)
         group_idx = [positions[c] for c in group_by]
         # Decompose avg into sum+count slots.
-        device_aggs = []
-        layout = []  # per output agg: ("direct", slot) or ("avg", sum_slot, count_slot)
-        kinds = []
-        for name, kind, expr in aggs:
-            value_fn = compile_expr(expr, positions) if expr is not None else None
-            if kind == "avg":
-                layout.append(("avg", len(device_aggs), len(device_aggs) + 1))
-                device_aggs.append((name + "_sum", "sum", value_fn))
-                device_aggs.append((name + "_count", "count", None))
-                kinds.extend(["sum", "count"])
-            else:
-                layout.append(("direct", len(device_aggs)))
-                device_aggs.append((name, kind, value_fn))
-                kinds.append(kind)
+        device_aggs, layout, kinds = plan_device_aggs(aggs, positions)
 
         app = Application(self.ssd, "ndp-agg-%s" % ref.name)
         token = DeviceFile(self.ssd, storage.path,
@@ -381,27 +365,14 @@ class NDPContextAggregateMixin:
                 if packet is None:
                     continue
                 engine.ndp_result_bytes += len(packet)
-                _merge_states(totals, pickle.loads(packet.payload), kinds)
+                merge_agg_states(totals, pickle.loads(packet.payload), kinds)
             yield from app.wait()
         finally:
             app.stop()
         engine.ndp_scans += 1
-        out_rows = []
-        for key, state in totals.items():
-            values = []
-            for plan in layout:
-                if plan[0] == "direct":
-                    value = state[plan[1]]
-                    if value is None and device_aggs[plan[1]][1] == "count":
-                        value = 0
-                    values.append(value)
-                else:
-                    total_sum, total_count = state[plan[1]], state[plan[2]]
-                    values.append(
-                        (total_sum / total_count) if total_count else 0.0
-                    )
-            out_rows.append(tuple(key) + tuple(values))
-        return Rel(list(group_by) + [name for name, _, _ in aggs], out_rows)
+        if raw:
+            return totals
+        return finalize_agg_rel(totals, layout, device_aggs, group_by, aggs)
 
 
 # Mix the aggregate driver into NDPContext.

@@ -18,9 +18,84 @@ from dataclasses import dataclass
 from typing import Dict, Generator, Optional, Tuple
 
 from repro.db.executor import Engine, ExecutionMode, TableRef
-from repro.db.expr import MatcherFilter, compile_expr, matcher_candidates
+from repro.db.expr import (
+    Between,
+    Cmp,
+    Col,
+    Const,
+    Expr,
+    InList,
+    Logic,
+    MatcherFilter,
+    compile_expr,
+    matcher_candidates,
+)
 
-__all__ = ["ScanDecision", "NDPPlanner", "create_engine"]
+__all__ = [
+    "ScanDecision", "NDPPlanner", "create_engine", "partition_constraints",
+]
+
+
+def partition_constraints(pred: Optional[Expr], key: str):
+    """Extract shard-pruning constraints on ``key`` from a predicate.
+
+    Returns one of:
+
+    * ``("eq", values)`` — the predicate pins the key to a finite value
+      set (``==`` against a constant, ``IN``); only shards owning those
+      values can hold matching rows.
+    * ``("range", (low, high, low_inc, high_inc))`` — the key is bounded
+      (``BETWEEN``, comparisons); ``None`` marks an open end.
+    * ``None`` — no usable constraint; every shard must be scanned.
+
+    Always *superset-safe*: the pruned shard set may be larger than
+    strictly necessary, never smaller.  Only top-level conjunctions are
+    mined — OR/NOT forms return None rather than risk under-pruning.
+    """
+    if pred is None:
+        return None
+    conjuncts = (list(pred.args)
+                 if isinstance(pred, Logic) and pred.op == "and" else [pred])
+    low = high = None
+    low_inc = high_inc = True
+    bounded = False
+    for conjunct in conjuncts:
+        if (isinstance(conjunct, InList) and isinstance(conjunct.column, Col)
+                and conjunct.column.name == key):
+            return ("eq", list(conjunct.values))
+        if isinstance(conjunct, Cmp):
+            left, right, op = conjunct.left, conjunct.right, conjunct.op
+            # Normalize to Col <op> Const.
+            if isinstance(left, Const) and isinstance(right, Col):
+                left, right = right, left
+                op = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(op, op)
+            if not (isinstance(left, Col) and left.name == key
+                    and isinstance(right, Const)):
+                continue
+            value = right.value
+            if op == "==":
+                return ("eq", [value])
+            if op in (">", ">="):
+                if low is None or value > low:
+                    low, low_inc = value, (op == ">=")
+                bounded = True
+            elif op in ("<", "<="):
+                if high is None or value < high:
+                    high, high_inc = value, (op == "<=")
+                bounded = True
+        elif (isinstance(conjunct, Between) and isinstance(conjunct.column, Col)
+                and conjunct.column.name == key
+                and isinstance(conjunct.low, Const)
+                and isinstance(conjunct.high, Const)):
+            # Between is inclusive-low / EXCLUSIVE-high (see repro.db.expr).
+            if low is None or conjunct.low.value > low:
+                low, low_inc = conjunct.low.value, True
+            if high is None or conjunct.high.value < high:
+                high, high_inc = conjunct.high.value, False
+            bounded = True
+    if bounded:
+        return ("range", (low, high, low_inc, high_inc))
+    return None
 
 
 @dataclass

@@ -159,21 +159,38 @@ class Database:
         self.tables: Dict[str, TableStorage] = {}
 
     def load_table(
-        self, schema: TableSchema, rows: Sequence[Sequence[Any]]
+        self, schema: TableSchema, rows: Sequence[Sequence[Any]],
+        name: Optional[str] = None,
     ) -> TableStorage:
-        """Install a table's rows as a heap file and build declared indexes."""
+        """Install a table's rows as a heap file and build declared indexes.
+
+        ``name`` overrides the *storage* name — the ``tables`` key and the
+        heap-file path — while the schema keeps its logical name.  This is
+        how one database holds several shard copies of the same logical
+        table (``lineitem#s3``): each copy gets its own heap file and
+        indexes, and the shared schema stays registered once.
+        """
         if schema.name not in self.catalog:
             self.catalog.add(schema)
+        storage_name = name or schema.name
         blob, _counts = pack_pages(schema, rows, self.fs.page_size)
-        path = "%s/%s.tbl" % (self.prefix, schema.name)
+        path = "%s/%s.tbl" % (self.prefix, storage_name)
         if self.fs.exists(path):
             self.fs.delete(path)
         inode = self.fs.install(path, blob)
         storage = TableStorage(schema, inode, len(rows), self.fs.page_size)
-        self.tables[schema.name] = storage
+        self.tables[storage_name] = storage
         for key in tuple(schema.primary_key) + tuple(schema.indexes):
             storage.build_index(self.fs, key)
         return storage
+
+    def alias_table(self, name: str, storage: TableStorage) -> None:
+        """Register an existing storage under an extra name (catalog only).
+
+        Used by the cluster layer so a logical table name binds during SQL
+        compilation on nodes that store only shard copies; the alias is
+        never scanned directly."""
+        self.tables[name] = storage
 
     def table(self, name: str) -> TableStorage:
         try:

@@ -63,9 +63,12 @@ COMPONENTS: Tuple[str, ...] = (
     "transfer",         # xfer spans (minus fabric hops: double-charged otherwise)
     "firmware",         # fw spans (controller core occupancy)
     "driver",           # driver spans (host-side submit/complete work)
+    "cluster_merge",    # cluster/merge (coordinator folding shard partials)
     "host_queue",       # nvme/slot-wait (command queued behind the doorbell)
     "hedge_wait",       # resil/hedge-wait (deadline arm of a hedged read)
     "port_wait",        # port spans (SSDlet consumer blocked on a port)
+    "cluster_scatter_wait",  # cluster/scatter-wait (fan-out barrier; loses
+                        # to any real work running concurrently on a shard)
     "other",            # residual: envelope time no component claims
 )
 
@@ -84,6 +87,8 @@ _SPAN_COMPONENT: Dict[Tuple[str, str], str] = {
     ("nand", "erase"): "nand_busy",
     ("nvme", "slot-wait"): "host_queue",
     ("resil", "hedge-wait"): "hedge_wait",
+    ("cluster", "merge"): "cluster_merge",
+    ("cluster", "scatter-wait"): "cluster_scatter_wait",
 }
 
 #: Envelope spans: containers whose duration is the *sum* of finer-grained
@@ -94,6 +99,7 @@ _ENVELOPE_SPANS = frozenset([
     ("ctrl", "read"), ("ctrl", "write"),
     ("core", "fiber"),
     ("resil", "scan"),
+    ("cluster", "query"),
 ])
 
 

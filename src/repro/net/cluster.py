@@ -71,17 +71,23 @@ class RoundRobinPlacement(PlacementPolicy):
 
 
 class LeastLoadedPlacement(PlacementPolicy):
-    """Send the job to the least-loaded eligible device."""
+    """Send the job to the least-loaded eligible device.
+
+    Tie-breaking is explicitly deterministic: equal loads resolve to the
+    lowest node index, independent of the order candidates are presented
+    in.  Fleet runs must stay byte-deterministic under the race monitor's
+    perturbation harness, which reorders same-timestamp batches — so the
+    chosen index may only depend on the candidate *set*, never on
+    arrival order.  The total key ``(load, index)`` guarantees that.
+    """
 
     name = "least_loaded"
 
     def pick(self, candidates: List[tuple]) -> int:
         if not candidates:
             raise ValueError("no eligible placement candidates")
-        best_index, best_load = candidates[0]
-        for index, load in candidates[1:]:
-            if load < best_load or (load == best_load and index < best_index):
-                best_index, best_load = index, load
+        best_load, best_index = min(
+            (load, index) for index, load in candidates)
         return best_index
 
 
@@ -232,10 +238,13 @@ class ScaleOutCluster:
         client_cores: int = 24,
         node_cores: int = 8,
         ssd_config: Optional[SSDConfig] = None,
+        sim: Optional[Simulator] = None,
     ):
         if num_nodes < 1:
             raise ValueError("need at least one storage node")
-        self.sim = Simulator()
+        # An externally supplied simulator lets callers attach an EventBus
+        # (causal tracing) before the cluster spawns any fiber.
+        self.sim = sim if sim is not None else Simulator()
         self.client_cpu = HostCPU(self.sim, cores=client_cores)
         self.nodes: List[StorageNode] = []
         for index in range(num_nodes):

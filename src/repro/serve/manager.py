@@ -217,6 +217,16 @@ class JobManager:
 
     # -------------------------------------------------------------- dispatch
     def _eligible_servers(self, job: Job) -> List[Tuple[int, Tuple[int, int]]]:
+        hint = job.spec.device_hint
+        if hint is not None and 0 <= hint < len(self.servers):
+            # Data-placement pin: only the hinted device may run this job.
+            # An un-admittable hint returns no candidates, so the job waits
+            # for a slot there (or is retired as unsatisfiable when nothing
+            # is running that could ever free one).
+            server = self.servers[hint]
+            if server.slots.can_admit(job):
+                return [(server.index, server.load)]
+            return []
         candidates = [(server.index, server.load) for server in self.servers
                       if server.slots.can_admit(job)]
         if self.recovery is not None and candidates:

@@ -23,7 +23,10 @@ from repro.testing.strategies import (
 from repro.testing.differential import (
     CaseResult,
     replay,
+    replay_sharded,
     run_case,
+    run_case_sharded,
+    run_sharded_sweep,
     run_sweep,
     summarize,
 )
@@ -41,7 +44,10 @@ __all__ = [
     "repro_line",
     "CaseResult",
     "replay",
+    "replay_sharded",
     "run_case",
+    "run_case_sharded",
+    "run_sharded_sweep",
     "run_sweep",
     "summarize",
 ]

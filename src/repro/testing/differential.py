@@ -49,9 +49,11 @@ from repro.testing.faults import FaultInjector, StormInjector
 
 __all__ = [
     "CaseResult", "run_case", "run_case_fastpath", "run_case_interleaved",
-    "run_case_perturbed", "run_case_resilient", "run_sweep",
+    "run_case_perturbed", "run_case_resilient", "run_case_sharded",
+    "run_sweep",
     "run_fastpath_sweep", "run_perturbed_sweep", "run_resilient_sweep",
-    "replay", "replay_resilient",
+    "run_sharded_sweep",
+    "replay", "replay_resilient", "replay_sharded",
     "summarize", "rows_match", "eval_expr", "reference_rows",
     "force_offload_config",
 ]
@@ -602,6 +604,134 @@ def run_case_resilient(seed: int) -> CaseResult:
 def run_resilient_sweep(seeds) -> List[CaseResult]:
     """One resilient case per seed (failures carry their repro line)."""
     return [run_case_resilient(seed) for seed in seeds]
+
+
+# -------------------------------------------------------------- sharded arm
+def _sharded_query_fiber(executor, schema: TableSchema, query: Dict[str, Any]):
+    """The scatter-gather twin of :func:`_query_fiber` (same query shape)."""
+    from repro.db.executor import TableRef
+
+    ref = TableRef(schema.name, query["pred"],
+                   list(query["cols"]) if query.get("cols") else None)
+    if query["kind"] == "filter":
+        rel = yield from executor.scatter_fetch(ref)
+        return rel.rows
+    rel = yield from executor.scatter_aggregate(
+        ref, list(query["group_by"]), query["aggs"])
+    return rel.rows
+
+
+def _execute_sharded(fleet, executor, schema: TableSchema,
+                     query: Dict[str, Any]):
+    """(rows, None) on success, (None, error) on a typed device failure."""
+    fleet.begin_query()
+    try:
+        rows = fleet.run_fiber(_sharded_query_fiber(executor, schema, query),
+                               name="sharded-case")
+        return rows, None
+    except DeviceError as exc:
+        return None, exc
+
+
+def run_case_sharded(seed: int) -> CaseResult:
+    """One seeded case run across the sharded fleet, judged row-identical
+    (after canonical ordering) against the single-device BISCUIT arm and
+    the plain-Python reference.
+
+    The seed derives the *same* geometry/table/query as ``run_case(seed)``
+    (the cluster layout is drawn after the common prefix).  The layout
+    picks the fleet shape, the partition key and kind (hash or quantile
+    range), whether the scatter executor hedges, and — about a third of
+    the time — crashes one shard's primary node before the query runs.
+    Replication is 2 and only one node ever goes down, so every shard
+    keeps an alive copy and the only acceptable outcome, crash or not, is
+    ``match``: replica failover must be answer-invisible.
+    """
+    from repro.cluster import ClusterExecutor, ShardedFleet
+
+    rng = random.Random(seed)
+    ssd_config = strategies.gen_ssd_config(rng)
+    schema, rows = strategies.gen_table(rng)
+    query = strategies.gen_query(rng, schema, rows)
+    strategies.gen_fault_plan(rng)  # drawn unused: keeps the prefix aligned
+    layout = strategies.gen_cluster_layout(rng, schema, rows)
+    line = strategies.repro_line(seed, layout["crash_primary"])
+
+    # Single-device arm: the same fault-free BISCUIT execution run_case uses.
+    system = System(ssd_config=ssd_config)
+    db = Database(system.fs)
+    db.load_table(schema, rows)
+    ndp_engine = _make_engine(system, db, ExecutionMode.BISCUIT)
+    expected = reference_rows(schema, rows, query)
+    ndp_rows, ndp_error = _execute(system, ndp_engine, schema, query)
+
+    # Sharded arm: the same rows spread over the fleet, same offload knobs.
+    fleet = ShardedFleet(
+        num_nodes=layout["num_nodes"],
+        num_shards=layout["num_shards"],
+        replication=layout["replication"],
+        ssd_config=ssd_config,
+        engine_config=force_offload_config(),
+    )
+    fleet.load_sharded(schema, rows, key=layout["key"],
+                       kind=layout["kind"], bounds=layout["bounds"])
+    crashed_node = -1
+    if layout["crash_primary"]:
+        crashed_node = fleet.replica_map.nodes_for(layout["crash_shard"])[0]
+        fleet.crash_node(crashed_node)
+    executor = ClusterExecutor(
+        fleet,
+        hedge=(HedgePolicy(default_us=layout["hedge_default_us"])
+               if layout["hedge"] else None),
+    )
+    sharded_rows, sharded_error = _execute_sharded(
+        fleet, executor, schema, query)
+
+    offloaded = ndp_engine.ndp_scans > 0 and fleet.ndp_scans() > 0
+    counters = {
+        "shards": fleet.num_shards,
+        "max_fan_out": executor.max_fan_out,
+        "shard_rpcs": executor.shard_rpcs,
+        "retries": executor.retries,
+        "failovers": executor.failovers,
+        "crashed_node": crashed_node,
+    }
+
+    if ndp_error is not None or sharded_error is not None:
+        failed = []
+        if ndp_error is not None:
+            failed.append("ndp: %s" % ndp_error)
+        if sharded_error is not None:
+            failed.append("sharded: %s" % sharded_error)
+        return CaseResult(seed, layout["crash_primary"], "device-error",
+                          "; ".join(failed), line, offloaded, counters)
+    if not rows_match(sharded_rows, ndp_rows):
+        detail = ("sharded/ndp disagree: %d vs %d rows | %s"
+                  % (len(sharded_rows), len(ndp_rows), line))
+        return CaseResult(seed, layout["crash_primary"], "mismatch", detail,
+                          line, offloaded, counters)
+    if not rows_match(ndp_rows, expected):
+        detail = ("ndp/reference disagree: %d vs %d rows | %s"
+                  % (len(ndp_rows), len(expected), line))
+        return CaseResult(seed, layout["crash_primary"], "mismatch", detail,
+                          line, offloaded, counters)
+    detail = ""
+    if layout["crash_primary"]:
+        detail = ("crashed node%d (primary of shard %d)"
+                  % (crashed_node, layout["crash_shard"]))
+    return CaseResult(seed, layout["crash_primary"], "match", detail, line,
+                      offloaded, counters)
+
+
+def run_sharded_sweep(seeds) -> List[CaseResult]:
+    """One sharded case per seed (failures carry their repro line)."""
+    return [run_case_sharded(seed) for seed in seeds]
+
+
+def replay_sharded(line: str) -> CaseResult:
+    """Re-run the exact sharded case a ``REPRO:`` line came from."""
+    seed, _faults = strategies.parse_repro(line)
+    return run_case_sharded(seed)
 
 
 def replay_resilient(line: str) -> CaseResult:

@@ -37,6 +37,7 @@ __all__ = [
     "gen_fault_plan",
     "gen_fault_storm",
     "gen_replica_layout",
+    "gen_cluster_layout",
     "gen_schedule",
     "repro_line",
     "parse_repro",
@@ -289,6 +290,41 @@ def gen_replica_layout(rng: random.Random) -> Dict[str, Any]:
         "checkpoint_pages": rng.choice([1, 2, 4, 8]),
         "retry_limit": rng.choice([6, 8, 10]),
         "backoff_us": rng.choice([250.0, 500.0, 1000.0]),
+        "hedge": rng.random() < 0.5,
+        "hedge_default_us": rng.choice([1500.0, 3000.0, 6000.0]),
+    }
+
+
+def gen_cluster_layout(rng: random.Random, schema: TableSchema,
+                       rows: List[tuple]) -> Dict[str, Any]:
+    """How the sharded arm spreads (and breaks) a seeded case.
+
+    Drawn *after* the common prefix (geometry, table, query, fault plan) so
+    every other arm's random stream stays seed-aligned.  Draws the fleet
+    shape, the partition key and kind (range bounds come from quantiles of
+    the actual key values, so every orderable column type works), whether
+    one shard's primary node is crashed before the query runs, and whether
+    the executor hedges.
+    """
+    num_nodes = rng.choice([3, 4, 5])
+    num_shards = rng.choice([num_nodes, 2 * num_nodes])
+    key = rng.choice(schema.column_names())
+    kind = rng.choice(["hash", "hash", "range"])
+    bounds: Tuple[Any, ...] = ()
+    if kind == "range":
+        position = schema.position(key)
+        values = sorted(row[position] for row in rows)
+        bounds = tuple(values[(i * len(values)) // num_shards]
+                       for i in range(1, num_shards))
+    return {
+        "num_nodes": num_nodes,
+        "num_shards": num_shards,
+        "replication": 2,
+        "key": key,
+        "kind": kind,
+        "bounds": bounds,
+        "crash_primary": rng.random() < 0.35,
+        "crash_shard": rng.randrange(num_shards),
         "hedge": rng.random() < 0.5,
         "hedge_default_us": rng.choice([1500.0, 3000.0, 6000.0]),
     }

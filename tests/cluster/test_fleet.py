@@ -1,0 +1,67 @@
+"""Fleet loading, liveness bookkeeping, and the hash-partition skew bound."""
+
+from repro.cluster import ShardedFleet, shard_table_name
+from repro.db.catalog import Column, TableSchema
+from repro.db.tpch.datagen import generate_tables
+from repro.db.tpch.schema import TPCH_SCHEMAS
+
+
+def _schema():
+    return TableSchema("t", [Column("id", "int"), Column("v", "int")])
+
+
+def _rows(n=200):
+    return [(i, i % 7) for i in range(n)]
+
+
+def test_load_sharded_installs_every_copy():
+    fleet = ShardedFleet(num_nodes=3, num_shards=3, replication=2)
+    spec = fleet.load_sharded(_schema(), _rows(), key="id", kind="hash")
+
+    assert spec.num_shards == 3
+    for shard in range(3):
+        name = shard_table_name("t", shard)
+        holders = fleet.replica_map.nodes_for(shard)
+        assert len(holders) == 2
+        copies = []
+        for node_index in holders:
+            storage = fleet.databases[node_index].tables[name]
+            copies.append(storage.num_rows)
+        assert copies[0] == copies[1]  # both replicas hold the full shard
+    # Every row landed in exactly one shard.
+    assert sum(fleet.shard_row_counts("t")) == 200
+    # The logical name resolves on every copy-holding node (for compile).
+    for node_index in range(3):
+        assert "t" in fleet.databases[node_index].tables
+
+
+def test_crash_and_recover_bookkeeping():
+    fleet = ShardedFleet(num_nodes=4, num_shards=8, replication=2)
+    fleet.load_sharded(_schema(), _rows(), key="id")
+    fleet.crash_node(2)
+    fleet.crash_node(2)  # idempotent
+    assert fleet.crashes == 1
+    assert fleet.catalog.is_down(2)
+    assert all(2 not in fleet.catalog.nodes_for(s) for s in range(8))
+    # Shard row counts still answer from the surviving replicas.
+    assert sum(fleet.shard_row_counts("t")) == 200
+
+    fleet.recover_node(2)
+    assert fleet.recoveries == 1
+    assert not fleet.catalog.is_down(2)
+    assert any(2 in fleet.catalog.nodes_for(s) for s in range(8))
+
+
+def test_lineitem_hash_partition_skew_within_bound():
+    """Hash partitioning must spread TPC-H lineitem within 1.2x of ideal."""
+    rows = generate_tables(0.002)["lineitem"]
+    schema = TPCH_SCHEMAS["lineitem"]
+    assert len(rows) > 5000
+
+    fleet = ShardedFleet(num_nodes=4, num_shards=8, replication=2)
+    fleet.load_sharded(schema, rows, key="l_orderkey", kind="hash")
+    counts = fleet.shard_row_counts("lineitem")
+    assert sum(counts) == len(rows)
+    ideal = len(rows) / fleet.num_shards
+    assert max(counts) <= 1.2 * ideal, counts
+    assert min(counts) >= 0.8 * ideal, counts

@@ -177,6 +177,44 @@ def test_serving_jobs_spread_across_devices():
     assert sum(per_device) <= result.manager.jobs_submitted
 
 
+def test_least_loaded_tie_break_survives_perturbation():
+    """Regression: the least-loaded pick may only depend on the candidate
+    *set*, never on arrival order.  Four same-timestamp fibers each present
+    the same all-tied candidate set in a different rotation; the race
+    monitor's perturbation harness then re-runs the workload with the pop
+    order *reversed* inside every provably order-free batch.  Every fiber
+    must still pick device 0 (lowest index), and the trace digest must stay
+    byte-identical under the reversal."""
+    from repro.analysis.races import check_workload
+    from repro.net.cluster import LeastLoadedPlacement
+    from repro.sim.engine import Simulator
+
+    def workload():
+        sim = Simulator()
+        policy = LeastLoadedPlacement()
+        picks = {}
+
+        def chooser(fiber_id):
+            # Stagger the scheduling moments (so batches stay provably
+            # order-free), then converge on one timestamp for the pick.
+            yield sim.timeout(fiber_id + 1)
+            yield sim.timeout(1000 - fiber_id)
+            candidates = [(index, (1, 0)) for index in range(4)]
+            rotation = candidates[fiber_id:] + candidates[:fiber_id]
+            picks[fiber_id] = policy.pick(rotation)
+
+        for fiber_id in range(4):
+            sim.process(chooser(fiber_id), name="chooser%d" % fiber_id)
+        sim.run()
+        return tuple(picks[i] for i in range(4))
+
+    report = check_workload(workload, require_reversals=True)
+    assert report.clean, report.render()
+    assert report.reversed_batches > 0  # the perturbation really engaged
+    # Ties resolve to the lowest index whatever the presentation order.
+    assert report.result == (0, 0, 0, 0)
+
+
 # --------------------------------------------------------- replica placement
 def test_replica_map_rotation_placement():
     from repro.net.cluster import ReplicaMap
